@@ -1,0 +1,311 @@
+//! Global flooding uniform consensus over the entire system.
+//!
+//! One epoch of flooding consensus among **all** `N` nodes, triggered by
+//! the first crash detection, agreeing on the set of crashed nodes. Every
+//! participant multicasts its accumulated proposal vector to everyone
+//! each round — `O(N²)` messages per round — and every node monitors
+//! every other node (`O(N²)` failure-detector subscriptions): exactly the
+//! global entanglement the cliff-edge protocol avoids.
+//!
+//! The implementation uses the early-termination rule (decide at the end
+//! of round `r ≥ 2` once the vector covers every non-crashed node), since
+//! the faithful `N−1` rounds are infeasible to simulate at interesting
+//! sizes — this *under-states* the baseline's cost, biasing the
+//! comparison against cliff-edge, which is the conservative direction.
+//!
+//! Scope: per-node entries are grow-only crash sets merged by union, and
+//! a node that detects a new crash before deciding updates its entry and
+//! re-floods its current round. The epoch therefore agrees on the union
+//! of everything detected before the epoch's last round closes; crashes
+//! landing later can yield different unions at different deciders
+//! (production systems re-run epochs). The comparison experiments (E4)
+//! schedule all crashes before the epoch completes, where the decision is
+//! unique (asserted in tests).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use precipice_graph::{Graph, NodeId, Region};
+use precipice_sim::{
+    Context, MessageSize, Metrics, Process, RunOutcome, SimConfig, SimTime, Simulation,
+};
+
+/// One round's flooding message: the sender's accumulated vector of
+/// per-node crash-set proposals.
+#[derive(Debug, Clone)]
+pub struct GlobalMsg {
+    /// Round number (1-based).
+    pub round: u32,
+    /// Accumulated proposals: `node -> crash set it proposed`.
+    /// `Arc`-shared: flooding to `N` recipients snapshots the vector
+    /// once; byte accounting still charges the full vector per message.
+    pub vector: Arc<BTreeMap<NodeId, BTreeSet<NodeId>>>,
+}
+
+impl MessageSize for GlobalMsg {
+    fn size_bytes(&self) -> usize {
+        4 + self
+            .vector
+            .values()
+            .map(|set| 4 + 4 + 4 * set.len())
+            .sum::<usize>()
+    }
+}
+
+/// A participant in the global epoch.
+#[derive(Debug)]
+pub struct GlobalProcess {
+    me: NodeId,
+    n: usize,
+    joined: bool,
+    round: u32,
+    detected: BTreeSet<NodeId>,
+    vector: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Senders heard from, per round.
+    heard: BTreeMap<u32, BTreeSet<NodeId>>,
+    decision: Option<(BTreeSet<NodeId>, SimTime)>,
+}
+
+impl GlobalProcess {
+    /// Creates the participant for node `me` in a system of `n` nodes.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        GlobalProcess {
+            me,
+            n,
+            joined: false,
+            round: 0,
+            detected: BTreeSet::new(),
+            vector: BTreeMap::new(),
+            heard: BTreeMap::new(),
+            decision: None,
+        }
+    }
+
+    /// The decided crash set and decision time, if this node decided.
+    pub fn decision(&self) -> Option<&(BTreeSet<NodeId>, SimTime)> {
+        self.decision.as_ref()
+    }
+
+    fn everyone(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId::from_index)
+    }
+
+    fn join(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        self.round = 1;
+        self.vector.insert(self.me, self.detected.clone());
+        self.flood(ctx);
+    }
+
+    fn flood(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        let msg = GlobalMsg {
+            round: self.round,
+            vector: Arc::new(self.vector.clone()),
+        };
+        for to in self.everyone() {
+            ctx.send(to, msg.clone());
+        }
+    }
+
+    /// `true` when everyone not known-crashed has contributed an entry.
+    fn vector_complete(&self) -> bool {
+        self.everyone()
+            .all(|p| self.detected.contains(&p) || self.vector.contains_key(&p))
+    }
+
+    /// `true` when every non-crashed node's round-`r` message arrived.
+    fn round_complete(&self, r: u32) -> bool {
+        let heard = self.heard.get(&r);
+        self.everyone()
+            .all(|p| self.detected.contains(&p) || heard.is_some_and(|h| h.contains(&p)))
+    }
+
+    fn advance(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        while self.decision.is_none() && self.joined && self.round_complete(self.round) {
+            // Early-termination criterion (see module docs): two rounds
+            // minimum, vector covering all live nodes.
+            if self.round >= 2 && self.vector_complete() {
+                let union: BTreeSet<NodeId> = self
+                    .vector
+                    .values()
+                    .flat_map(|s| s.iter().copied())
+                    .collect();
+                self.decision = Some((union, ctx.now()));
+                return;
+            }
+            if self.round as usize >= self.n.saturating_sub(1).max(2) {
+                // Faithful bound reached: decide on what we have.
+                let union: BTreeSet<NodeId> = self
+                    .vector
+                    .values()
+                    .flat_map(|s| s.iter().copied())
+                    .collect();
+                self.decision = Some((union, ctx.now()));
+                return;
+            }
+            self.round += 1;
+            self.flood(ctx);
+        }
+    }
+}
+
+impl Process for GlobalProcess {
+    type Msg = GlobalMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        // Global consensus with a perfect FD: everyone monitors everyone.
+        for p in self.everyone() {
+            if p != self.me {
+                ctx.monitor(p);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: GlobalMsg, ctx: &mut Context<'_, GlobalMsg>) {
+        if !self.joined {
+            self.join(ctx);
+        }
+        for (node, proposal) in msg.vector.iter() {
+            // Entries are grow-only sets: merge by union.
+            self.vector
+                .entry(*node)
+                .or_default()
+                .extend(proposal.iter().copied());
+        }
+        self.heard.entry(msg.round).or_default().insert(from);
+        self.advance(ctx);
+    }
+
+    fn on_crash_notification(&mut self, crashed: NodeId, ctx: &mut Context<'_, GlobalMsg>) {
+        self.detected.insert(crashed);
+        if !self.joined {
+            self.join(ctx);
+        } else if self.decision.is_none() {
+            // Late detection: grow our own entry and re-flood the
+            // current round so the new knowledge reaches everyone.
+            self.vector.entry(self.me).or_default().insert(crashed);
+            self.flood(ctx);
+        }
+        self.advance(ctx);
+    }
+}
+
+/// Outcome of a global-consensus run: what each live node decided, plus
+/// transport accounting for the cost comparison.
+#[derive(Debug)]
+pub struct GlobalReport {
+    /// Decisions (crash-set unions) per deciding node.
+    pub decisions: BTreeMap<NodeId, (BTreeSet<NodeId>, SimTime)>,
+    /// Transport accounting.
+    pub metrics: Metrics,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl GlobalReport {
+    /// The decided crashed regions (connected components of the union),
+    /// from an arbitrary decider (asserting they all agree is the
+    /// caller's job where applicable).
+    pub fn decided_regions(&self, graph: &Graph) -> Vec<Region> {
+        match self.decisions.values().next() {
+            Some((union, _)) => precipice_graph::connected_components(graph, union),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Runs the global baseline on `graph` with the given crash schedule.
+pub fn run_global(
+    graph: &Graph,
+    crashes: &[(NodeId, SimTime)],
+    sim_config: SimConfig,
+) -> GlobalReport {
+    let n = graph.len();
+    let processes: Vec<GlobalProcess> = (0..n)
+        .map(|i| GlobalProcess::new(NodeId::from_index(i), n))
+        .collect();
+    let mut sim = Simulation::new(sim_config, processes);
+    for &(node, at) in crashes {
+        sim.schedule_crash(node, at);
+    }
+    let outcome = sim.run();
+    let mut decisions = BTreeMap::new();
+    for (id, proc) in sim.processes() {
+        if let Some(d) = proc.decision() {
+            decisions.insert(id, d.clone());
+        }
+    }
+    GlobalReport {
+        decisions,
+        metrics: sim.metrics().clone(),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::{ring, torus, GridDims};
+
+    fn quiet_sim() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn all_live_nodes_agree_on_the_crash_set() {
+        let g = ring(10);
+        let crashes = vec![(NodeId(3), SimTime::from_millis(1))];
+        let report = run_global(&g, &crashes, quiet_sim());
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.decisions.len(), 9, "all survivors decide");
+        let expected: BTreeSet<NodeId> = [NodeId(3)].into();
+        for (node, (union, _)) in &report.decisions {
+            assert_eq!(union, &expected, "{node} decided {union:?}");
+        }
+    }
+
+    #[test]
+    fn decided_regions_match_components() {
+        let g = torus(GridDims::square(4));
+        let crashes = vec![
+            (NodeId(0), SimTime::from_millis(1)),
+            (NodeId(1), SimTime::from_millis(1)),
+            (NodeId(10), SimTime::from_millis(1)),
+        ];
+        let report = run_global(&g, &crashes, quiet_sim());
+        let regions = report.decided_regions(&g);
+        assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    fn cost_grows_with_system_size() {
+        let crashes = |_g: &Graph| vec![(NodeId(1), SimTime::from_millis(1))];
+        let small = {
+            let g = ring(8);
+            run_global(&g, &crashes(&g), quiet_sim())
+        };
+        let large = {
+            let g = ring(32);
+            run_global(&g, &crashes(&g), quiet_sim())
+        };
+        assert!(
+            large.metrics.messages_sent() >= 8 * small.metrics.messages_sent(),
+            "global consensus must scale ~quadratically: {} vs {}",
+            small.metrics.messages_sent(),
+            large.metrics.messages_sent()
+        );
+    }
+
+    #[test]
+    fn every_node_participates_even_far_from_the_crash() {
+        let g = ring(12);
+        let report = run_global(&g, &[(NodeId(0), SimTime::from_millis(1))], quiet_sim());
+        // The node diametrically opposite the crash still sent messages —
+        // the anti-locality the paper criticizes.
+        let far = NodeId(6);
+        assert!(report.metrics.node(far).sent > 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Epidemic crash dissemination (flooding gossip).
+//!
+//! Every node monitors its neighbours; a detected crash is flooded
+//! hop-by-hop (each node forwards each distinct report once to all its
+//! neighbours). Eventually every correct node *knows* every crash — but:
+//!
+//! - there is **no agreement event**: nodes never learn when their view
+//!   is complete or shared, so no coordinated recovery action can be
+//!   triggered (the motivation for cliff-edge consensus, §1);
+//! - there is **no locality**: a single crash touches the entire system
+//!   (`O(|E|)` messages per crash), violating CD3 by design.
+//!
+//! The E4/E5 experiments report its cost next to cliff-edge consensus to
+//! show that even a weak primitive is non-local when implemented
+//! naively, and the *awareness lag* (time to full knowledge) it attains.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use precipice_graph::{Graph, NodeId};
+use precipice_sim::{
+    Context, MessageSize, Metrics, Process, RunOutcome, SimConfig, SimTime, Simulation,
+};
+
+/// A flooded crash report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport(pub NodeId);
+
+impl MessageSize for CrashReport {
+    fn size_bytes(&self) -> usize {
+        4
+    }
+}
+
+/// A gossiping node: forwards each distinct crash report once.
+#[derive(Debug)]
+pub struct GossipProcess {
+    neighbors: Vec<NodeId>,
+    /// Crashes this node knows of, with the time it learned each.
+    known: BTreeMap<NodeId, SimTime>,
+}
+
+impl GossipProcess {
+    /// Creates the gossip process for `me` on `graph`.
+    pub fn new(me: NodeId, graph: &Graph) -> Self {
+        GossipProcess {
+            neighbors: graph.neighbors(me).to_vec(),
+            known: BTreeMap::new(),
+        }
+    }
+
+    /// The crashes this node knows of, with learn times.
+    pub fn known(&self) -> &BTreeMap<NodeId, SimTime> {
+        &self.known
+    }
+
+    fn learn(&mut self, crashed: NodeId, ctx: &mut Context<'_, CrashReport>) {
+        if self.known.contains_key(&crashed) {
+            return;
+        }
+        self.known.insert(crashed, ctx.now());
+        for &to in &self.neighbors {
+            if to != crashed {
+                ctx.send(to, CrashReport(crashed));
+            }
+        }
+    }
+}
+
+impl Process for GossipProcess {
+    type Msg = CrashReport;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CrashReport>) {
+        for &p in &self.neighbors {
+            ctx.monitor(p);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: CrashReport, ctx: &mut Context<'_, CrashReport>) {
+        self.learn(msg.0, ctx);
+    }
+
+    fn on_crash_notification(&mut self, crashed: NodeId, ctx: &mut Context<'_, CrashReport>) {
+        self.learn(crashed, ctx);
+    }
+}
+
+/// Outcome of a gossip run.
+#[derive(Debug)]
+pub struct GossipReport {
+    /// Per-node map of known crashes and when each was learned.
+    pub knowledge: BTreeMap<NodeId, BTreeMap<NodeId, SimTime>>,
+    /// Virtual time by which every correct node knew every crash
+    /// (`None` if some correct node stayed ignorant — cannot happen on a
+    /// connected residual graph).
+    pub full_awareness_at: Option<SimTime>,
+    /// Transport accounting.
+    pub metrics: Metrics,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Runs the gossip baseline on `graph` with the given crash schedule.
+pub fn run_gossip(
+    graph: &Graph,
+    crashes: &[(NodeId, SimTime)],
+    sim_config: SimConfig,
+) -> GossipReport {
+    let processes: Vec<GossipProcess> = graph
+        .nodes()
+        .map(|me| GossipProcess::new(me, graph))
+        .collect();
+    let mut sim = Simulation::new(sim_config, processes);
+    let crashed: BTreeSet<NodeId> = crashes.iter().map(|&(n, _)| n).collect();
+    for &(node, at) in crashes {
+        sim.schedule_crash(node, at);
+    }
+    let outcome = sim.run();
+
+    let mut knowledge = BTreeMap::new();
+    let mut full_awareness_at = Some(SimTime::ZERO);
+    for (id, proc) in sim.processes() {
+        if crashed.contains(&id) {
+            continue;
+        }
+        knowledge.insert(id, proc.known().clone());
+        let node_complete_at = crashed
+            .iter()
+            .map(|c| proc.known().get(c).copied())
+            .try_fold(SimTime::ZERO, |acc, t| t.map(|t| acc.max(t)));
+        full_awareness_at = match (full_awareness_at, node_complete_at) {
+            (Some(acc), Some(t)) => Some(acc.max(t)),
+            _ => None,
+        };
+    }
+    GossipReport {
+        knowledge,
+        full_awareness_at,
+        metrics: sim.metrics().clone(),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::{ring, torus, GridDims};
+
+    #[test]
+    fn every_correct_node_learns_every_crash() {
+        let g = torus(GridDims::square(5));
+        let crashes = vec![
+            (NodeId(7), SimTime::from_millis(1)),
+            (NodeId(13), SimTime::from_millis(2)),
+        ];
+        let report = run_gossip(&g, &crashes, SimConfig::default());
+        assert!(report.outcome.is_quiescent());
+        assert!(report.full_awareness_at.is_some());
+        for (node, known) in &report.knowledge {
+            assert!(known.contains_key(&NodeId(7)), "{node} missed n7");
+            assert!(known.contains_key(&NodeId(13)), "{node} missed n13");
+        }
+    }
+
+    #[test]
+    fn gossip_touches_the_whole_system() {
+        let g = ring(16);
+        let report = run_gossip(
+            &g,
+            &[(NodeId(0), SimTime::from_millis(1))],
+            SimConfig::default(),
+        );
+        // Every correct node forwarded the report: no locality.
+        let senders = report.metrics.nodes_with_traffic().len();
+        assert_eq!(senders, 15);
+    }
+
+    #[test]
+    fn message_cost_scales_with_system_size() {
+        let small = run_gossip(
+            &ring(8),
+            &[(NodeId(1), SimTime::from_millis(1))],
+            SimConfig::default(),
+        );
+        let large = run_gossip(
+            &ring(64),
+            &[(NodeId(1), SimTime::from_millis(1))],
+            SimConfig::default(),
+        );
+        assert!(large.metrics.messages_sent() > 6 * small.metrics.messages_sent());
+    }
+}

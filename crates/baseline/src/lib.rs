@@ -1,0 +1,26 @@
+//! Baselines against which cliff-edge consensus is compared.
+//!
+//! The paper motivates its protocol by ruling out "traditional consensus
+//! approaches that would involve the entire network in a protocol run"
+//! (§2.1). This crate makes that comparison measurable:
+//!
+//! - [`global`] — **global flooding uniform consensus** (after
+//!   Chandra–Toueg \[8\] / Guerraoui–Rodrigues \[13\], the very algorithm the
+//!   cliff-edge protocol superposes locally): every node of the system
+//!   participates in one system-wide epoch agreeing on the crashed node
+//!   set. Cost grows at least quadratically with the system size `N` —
+//!   the E4 experiment's foil.
+//! - [`gossip`] — **epidemic crash dissemination**: crash reports are
+//!   flooded hop-by-hop. Cheap per message but still touches every node
+//!   (no locality) and never produces an agreement event — it bounds what
+//!   "weaker than consensus" buys.
+//! - [`noarb`] — the **no-arbitration ablation** of cliff-edge consensus
+//!   itself (ranking-based rejection disabled), quantifying what the
+//!   arbitration mechanism contributes (E7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod global;
+pub mod gossip;
+pub mod noarb;

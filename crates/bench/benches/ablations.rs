@@ -1,0 +1,51 @@
+//! Ablation benches (E7): the footnote-6 optimizations against the
+//! faithful protocol on a conflict-heavy cascade.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
+use precipice_core::ProtocolConfig;
+use precipice_runtime::Scenario;
+use precipice_sim::SimTime;
+use precipice_workload::patterns::{schedule, CrashTiming};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let graph = torus_of(256);
+    let region = carve_region(&graph, RegionShape::Blob, 6);
+    let crashes = schedule(
+        region.iter(),
+        CrashTiming::Cascade {
+            start: SimTime::from_millis(1),
+            step: SimTime::from_millis(4),
+        },
+    );
+    let configs: [(&str, ProtocolConfig); 3] = [
+        ("faithful", ProtocolConfig::faithful()),
+        (
+            "early_termination",
+            ProtocolConfig::faithful().with_early_termination(true),
+        ),
+        ("optimized", ProtocolConfig::optimized()),
+    ];
+    for (label, config) in configs {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let scenario = Scenario::builder(graph.clone())
+                    .crashes(crashes.iter().copied())
+                    .protocol(config)
+                    .sim_config(experiment_sim(3, false))
+                    .build();
+                std::hint::black_box(scenario.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Churn benches (E6): full runs with the crashed region growing in a
+//! cascade that races the agreement.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
+use precipice_runtime::Scenario;
+use precipice_sim::SimTime;
+use precipice_workload::patterns::{schedule, CrashTiming};
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn/cascade");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let graph = torus_of(576);
+    for growth in [2usize, 8] {
+        let region = carve_region(&graph, RegionShape::Line, growth + 1);
+        let crashes = schedule(
+            region.iter(),
+            CrashTiming::Cascade {
+                start: SimTime::from_millis(1),
+                step: SimTime::from_millis(1),
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("growth_steps", growth), &growth, |b, _| {
+            b.iter(|| {
+                let scenario = Scenario::builder(graph.clone())
+                    .crashes(crashes.iter().copied())
+                    .sim_config(experiment_sim(2, false))
+                    .build();
+                std::hint::black_box(scenario.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end benches of the paper's figure scenarios (E1–E3): full
+//! simulated runs including trace recording.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use precipice_sim::SimTime;
+use precipice_workload::figures::{figure3_scenario, Figure1, Figure2};
+use precipice_workload::patterns::CrashTiming;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    let fig1 = Figure1::new();
+    group.bench_function("fig1a_two_regions", |b| {
+        b.iter(|| std::hint::black_box(fig1.scenario_a(7).run()))
+    });
+    group.bench_function("fig1b_paris_mid_agreement", |b| {
+        b.iter(|| std::hint::black_box(fig1.scenario_b(7, SimTime::from_millis(6)).run()))
+    });
+
+    let fig2 = Figure2::new(4, 2);
+    group.bench_function("fig2_adjacent_domains_k4", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                fig2.scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1)))
+                    .run(),
+            )
+        })
+    });
+
+    group.bench_function("fig3_overlap_adversary_g4", |b| {
+        b.iter(|| {
+            let (scenario, _) = figure3_scenario(6, 4, SimTime::from_millis(4), 3);
+            std::hint::black_box(scenario.run())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

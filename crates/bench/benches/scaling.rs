@@ -1,0 +1,105 @@
+//! Scaling benches (E4/E5): wall-clock cost of full runs as the system
+//! or the crashed region grows. The cliff-edge protocol work must stay
+//! flat as N grows (the residual slope is simulator setup, which is
+//! O(N)); the baselines grow with N by design.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use precipice_bench::{
+    carve_region, experiment_sim, measure_cliff_edge, simultaneous, torus_of, RegionShape,
+};
+use precipice_core::ProtocolConfig;
+use precipice_graph::NodeId;
+use precipice_sim::SimTime;
+
+fn bench_system_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/system_size");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [256usize, 1024, 4096] {
+        let graph = torus_of(n);
+        let region = carve_region(&graph, RegionShape::Blob, 8);
+        group.bench_with_input(BenchmarkId::new("cliff_edge_blob8", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(measure_cliff_edge(
+                    graph.clone(),
+                    &region,
+                    simultaneous(),
+                    ProtocolConfig::default(),
+                    1,
+                ))
+            })
+        });
+    }
+    // The global baseline is wall-clock heavy (its cost is the point);
+    // criterion only tracks the small size — the E4 report binary
+    // measures the larger ones once each.
+    for n in [64usize] {
+        let graph = torus_of(n);
+        let crashes: Vec<(NodeId, SimTime)> = carve_region(&graph, RegionShape::Blob, 8)
+            .iter()
+            .map(|p| (p, SimTime::from_millis(1)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("global_flooding_blob8", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(precipice_baseline::global::run_global(
+                    &graph,
+                    &crashes,
+                    experiment_sim(1, false),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gossip_blob8", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(precipice_baseline::gossip::run_gossip(
+                    &graph,
+                    &crashes,
+                    experiment_sim(1, false),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/region_size");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let graph = torus_of(1024);
+    for k in [2usize, 8, 32] {
+        let region = carve_region(&graph, RegionShape::Blob, k);
+        group.bench_with_input(BenchmarkId::new("cliff_edge_blob", k), &k, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(measure_cliff_edge(
+                    graph.clone(),
+                    &region,
+                    simultaneous(),
+                    ProtocolConfig::default(),
+                    1,
+                ))
+            })
+        });
+    }
+    for k in [2usize, 8, 16] {
+        let region = carve_region(&graph, RegionShape::Line, k);
+        group.bench_with_input(BenchmarkId::new("cliff_edge_line", k), &k, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(measure_cliff_edge(
+                    graph.clone(),
+                    &region,
+                    simultaneous(),
+                    ProtocolConfig::default(),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_system_size, bench_region_size);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Runs every experiment report (E1–E8) in sequence.
+//!
+//! `cargo run --release -p precipice-bench --bin all_reports`
+
+fn main() {
+    for (name, tables) in precipice_bench::experiments::all() {
+        println!("\n# {name}\n");
+        precipice_bench::experiments::print_tables(&tables);
+    }
+}

@@ -1,0 +1,9 @@
+//! Report binary: E4 — local complexity: cost vs system size.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e4_locality_scaling`.
+
+fn main() {
+    println!("# E4 — local complexity: cost vs system size\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e4_locality_scaling());
+}

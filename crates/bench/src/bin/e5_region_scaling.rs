@@ -1,0 +1,9 @@
+//! Report binary: E5 — cost vs crashed-region shape and extent.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e5_region_scaling`.
+
+fn main() {
+    println!("# E5 — cost vs crashed-region shape and extent\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e5_region_scaling());
+}

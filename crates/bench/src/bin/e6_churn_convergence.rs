@@ -1,0 +1,11 @@
+//! Report binary: E6 — convergence under ongoing failures.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e6_churn_convergence`.
+
+fn main() {
+    println!("# E6 — convergence under ongoing failures\n");
+    precipice_bench::experiments::print_tables(
+        &precipice_bench::experiments::e6_churn_convergence(),
+    );
+}

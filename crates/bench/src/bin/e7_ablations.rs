@@ -1,0 +1,9 @@
+//! Report binary: E7 — optimization and arbitration ablations.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e7_ablations`.
+
+fn main() {
+    println!("# E7 — optimization and arbitration ablations\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e7_ablations());
+}

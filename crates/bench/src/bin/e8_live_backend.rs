@@ -1,0 +1,9 @@
+//! Report binary: E8 — simulator vs live thread backend.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e8_live_backend`.
+
+fn main() {
+    println!("# E8 — simulator vs live thread backend\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e8_live_backend());
+}

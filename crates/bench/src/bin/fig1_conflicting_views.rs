@@ -1,0 +1,9 @@
+//! Report binary: E1 / Figure 1 — protocol instances and conflicting views.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin fig1_conflicting_views`.
+
+fn main() {
+    println!("# E1 / Figure 1 — protocol instances and conflicting views\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e1_figure1());
+}

@@ -1,0 +1,9 @@
+//! Report binary: E2 / Figure 2 — a cluster of adjacent faulty domains.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin fig2_adjacent_domains`.
+
+fn main() {
+    println!("# E2 / Figure 2 — a cluster of adjacent faulty domains\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e2_figure2());
+}

@@ -1,0 +1,9 @@
+//! Report binary: E3 / Figure 3 — convergence between overlapping views.
+//!
+//! Regenerates the experiment's tables (see DESIGN.md §5 and
+//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin fig3_view_convergence`.
+
+fn main() {
+    println!("# E3 / Figure 3 — convergence between overlapping views\n");
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e3_figure3());
+}

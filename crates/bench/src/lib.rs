@@ -1,0 +1,157 @@
+//! Shared experiment machinery for the report binaries and criterion
+//! benches. See `DESIGN.md` §5 for the experiment index (E1–E8) and
+//! `EXPERIMENTS.md` for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod experiments;
+
+use precipice_core::ProtocolConfig;
+use precipice_graph::{torus, Graph, GridDims, NodeId, Region};
+use precipice_runtime::{RunReport, Scenario};
+use precipice_sim::{LatencyModel, SimConfig, SimTime};
+use precipice_workload::patterns::{blob_of_size, line_region, schedule, CrashTiming};
+
+/// Latency/FD configuration shared by all experiments: mild jitter so
+/// rounds overlap realistically, deterministic under the seed.
+pub fn experiment_sim(seed: u64, record_trace: bool) -> SimConfig {
+    SimConfig {
+        seed,
+        latency: LatencyModel::Uniform {
+            min: SimTime::from_micros(200),
+            max: SimTime::from_millis(2),
+        },
+        fd_latency: LatencyModel::Uniform {
+            min: SimTime::from_millis(1),
+            max: SimTime::from_millis(5),
+        },
+        record_trace,
+        max_events: Some(200_000_000),
+    }
+}
+
+/// A torus whose side is `ceil(sqrt(n))`, the standard experiment
+/// substrate (4-regular, no boundary artifacts).
+pub fn torus_of(n: usize) -> Graph {
+    let side = (n as f64).sqrt().ceil().max(3.0) as usize;
+    torus(GridDims::square(side))
+}
+
+/// The shape of a crashed region for E5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionShape {
+    /// Compact BFS blob (minimal border per node).
+    Blob,
+    /// Thin line (maximal border per node).
+    Line,
+}
+
+/// Carves a region of `k` nodes of the given shape near the center of
+/// `graph` (assumed torus-like).
+pub fn carve_region(graph: &Graph, shape: RegionShape, k: usize) -> Region {
+    let center = NodeId((graph.len() / 2) as u32);
+    match shape {
+        RegionShape::Blob => blob_of_size(graph, center, k),
+        RegionShape::Line => line_region(graph, center, k),
+    }
+}
+
+/// Cost observations extracted from one cliff-edge run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCost {
+    /// System size.
+    pub n: usize,
+    /// Crashed region size.
+    pub region: usize,
+    /// Border (participant) count of the crashed region.
+    pub border: usize,
+    /// Total protocol messages sent.
+    pub messages: u64,
+    /// Total protocol bytes sent.
+    pub bytes: u64,
+    /// Nodes that sent at least one message (the locality footprint).
+    pub active_nodes: usize,
+    /// Number of deciders.
+    pub decisions: usize,
+    /// Highest round any node reached.
+    pub max_round: u32,
+    /// Virtual time of the last decision (ms), 0 if none.
+    pub decision_ms: f64,
+}
+
+/// Runs cliff-edge consensus on `graph` with `region` crashing under
+/// `timing`, and extracts the cost observations.
+pub fn measure_cliff_edge(
+    graph: Graph,
+    region: &Region,
+    timing: CrashTiming,
+    protocol: ProtocolConfig,
+    seed: u64,
+) -> (RunCost, RunReport<NodeId>) {
+    let border = graph.border_of(region.iter()).len();
+    let n = graph.len();
+    let scenario = Scenario::builder(graph)
+        .crashes(schedule(region.iter(), timing))
+        .protocol(protocol)
+        .sim_config(experiment_sim(seed, false))
+        .build();
+    let report = scenario.run();
+    let cost = RunCost {
+        n,
+        region: region.len(),
+        border,
+        messages: report.metrics.messages_sent(),
+        bytes: report.metrics.bytes_sent(),
+        active_nodes: report.metrics.nodes_with_traffic().len(),
+        decisions: report.decisions.len(),
+        max_round: report
+            .stats
+            .values()
+            .map(|s| s.max_round)
+            .max()
+            .unwrap_or(0),
+        decision_ms: report.last_decision_at().map_or(0.0, |t| t.as_millis_f64()),
+    };
+    (cost, report)
+}
+
+/// Convenience: a simultaneous crash at 1ms.
+pub fn simultaneous() -> CrashTiming {
+    CrashTiming::Simultaneous(SimTime::from_millis(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_of_rounds_up() {
+        assert_eq!(torus_of(64).len(), 64);
+        assert_eq!(torus_of(60).len(), 64);
+        assert_eq!(torus_of(5).len(), 9);
+    }
+
+    #[test]
+    fn carve_region_shapes() {
+        let g = torus_of(100);
+        let blob = carve_region(&g, RegionShape::Blob, 9);
+        let line = carve_region(&g, RegionShape::Line, 9);
+        assert_eq!(blob.len(), 9);
+        assert_eq!(line.len(), 9);
+        assert!(g.border_of(line.iter()).len() >= g.border_of(blob.iter()).len());
+    }
+
+    #[test]
+    fn measure_extracts_consistent_cost() {
+        let g = torus_of(64);
+        let region = carve_region(&g, RegionShape::Blob, 4);
+        let (cost, report) =
+            measure_cliff_edge(g, &region, simultaneous(), ProtocolConfig::default(), 3);
+        assert_eq!(cost.n, 64);
+        assert_eq!(cost.region, 4);
+        assert!(cost.decisions > 0);
+        assert_eq!(cost.messages, report.metrics.messages_sent());
+        assert!(cost.active_nodes <= cost.border + cost.region);
+    }
+}

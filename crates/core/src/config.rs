@@ -1,0 +1,103 @@
+/// Tunable protocol variants.
+///
+/// The default configuration is the *faithful* Algorithm 1. The two flags
+/// enable the optimizations discussed in the paper (footnote 6) and are
+/// exercised by the E7 ablation experiments; all CD properties must hold
+/// with any combination (verified by the property-test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Finalize a consensus instance as soon as a round `r ≥ 2` completes
+    /// with a ⊥-free opinion vector (the paper's footnote-6 optimization:
+    /// "terminating … once a node sees that all nodes in its border set
+    /// know everything (i.e. no ⊥), i.e. after two rounds, in the best
+    /// case"). The finalizing node floods one closing round so laggards
+    /// inherit the complete vector and finalize too.
+    pub early_termination: bool,
+
+    /// Abort the local consensus instance as soon as a rejection for the
+    /// proposed view is observed, instead of running the remaining rounds
+    /// to a guaranteed-failing completion. Saves `O(|B|²)` messages per
+    /// conflict; the rejection itself was multicast to the whole border,
+    /// so every participant aborts.
+    pub fast_abort_on_reject: bool,
+
+    /// **Ablation-only.** When `false`, the ranking-based arbitration
+    /// (Algorithm 1, lines 26–31) is disabled: lower-ranked conflicting
+    /// views are never rejected. This deliberately breaks the protocol —
+    /// conflicting proposers stall forever waiting for each other — and
+    /// exists so the E7 experiments can *measure* what arbitration
+    /// contributes (stalled instances, CD4/CD7 violations). Defaults to
+    /// `true`; leave it on outside ablation studies.
+    pub arbitration: bool,
+}
+
+impl Default for ProtocolConfig {
+    /// The faithful Algorithm 1: no optimizations, arbitration on.
+    fn default() -> Self {
+        ProtocolConfig {
+            early_termination: false,
+            fast_abort_on_reject: false,
+            arbitration: true,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The faithful Algorithm 1 (no optimizations).
+    pub fn faithful() -> Self {
+        ProtocolConfig::default()
+    }
+
+    /// All optimizations enabled.
+    pub fn optimized() -> Self {
+        ProtocolConfig {
+            early_termination: true,
+            fast_abort_on_reject: true,
+            arbitration: true,
+        }
+    }
+
+    /// **Ablation-only**: the protocol without its arbitration mechanism
+    /// (see [`arbitration`](ProtocolConfig::arbitration)).
+    pub fn without_arbitration() -> Self {
+        ProtocolConfig {
+            arbitration: false,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    /// Returns this config with early termination set.
+    pub fn with_early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
+        self
+    }
+
+    /// Returns this config with fast abort set.
+    pub fn with_fast_abort(mut self, on: bool) -> Self {
+        self.fast_abort_on_reject = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_faithful() {
+        let c = ProtocolConfig::default();
+        assert!(!c.early_termination);
+        assert!(!c.fast_abort_on_reject);
+        assert_eq!(c, ProtocolConfig::faithful());
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let c = ProtocolConfig::faithful()
+            .with_early_termination(true)
+            .with_fast_abort(true);
+        assert_eq!(c, ProtocolConfig::optimized());
+        let c = ProtocolConfig::optimized().with_fast_abort(false);
+        assert!(c.early_termination && !c.fast_abort_on_reject);
+    }
+}

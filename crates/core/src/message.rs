@@ -1,0 +1,172 @@
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use precipice_graph::{NodeId, Region};
+
+use crate::WireSize;
+
+/// A participant's stance on a proposed view.
+///
+/// The paper's opinion vectors hold `⊥`, `(accept, v)` or `reject`
+/// (Algorithm 1, lines 15–16 and 29–30). `⊥` is represented by *absence*
+/// from the [`OpinionVector`] map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Opinion<D> {
+    /// The node proposed the view, with its suggested decision value.
+    Accept(D),
+    /// The node rejected the view (it champions a higher-ranked one).
+    Reject,
+}
+
+impl<D> Opinion<D> {
+    /// `true` for `Accept`.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Opinion::Accept(_))
+    }
+
+    /// The accepted value, if any.
+    pub fn accepted_value(&self) -> Option<&D> {
+        match self {
+            Opinion::Accept(v) => Some(v),
+            Opinion::Reject => None,
+        }
+    }
+}
+
+/// A (partial) opinion vector: known opinions per border node; nodes
+/// absent from the map are at `⊥`.
+pub type OpinionVector<D> = BTreeMap<NodeId, Opinion<D>>;
+
+/// The single message type of Algorithm 1: `[r, V, border(V), op]`.
+///
+/// Sent by line 17 (round 1, proposing), line 31 (round 1, rejecting) and
+/// line 40 (round `r`, forwarding the accumulated vector of round `r−1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message<D> {
+    /// The round this message belongs to (1-based).
+    pub round: u32,
+    /// The proposed view `V` the instance is indexed by.
+    pub view: Region,
+    /// `border(V)` — the instance's participants. Redundant with `view`
+    /// given the shared knowledge graph, but carried on the wire exactly
+    /// as in the paper (receivers use it to initialize instance state
+    /// without a topology lookup).
+    pub border: Region,
+    /// The sender's known opinions (absent = `⊥`).
+    ///
+    /// `Arc`-shared so that multicasting to `|B|` recipients costs one
+    /// vector snapshot, not `|B|` deep clones; wire-size accounting still
+    /// counts the full vector per message, as a real network would.
+    pub opinions: Arc<OpinionVector<D>>,
+}
+
+impl<D: WireSize> Message<D> {
+    /// Approximate encoded size: round tag + region + border + one
+    /// `(node, tag, value?)` entry per known opinion.
+    pub fn wire_size(&self) -> usize {
+        let opinions: usize = self
+            .opinions
+            .values()
+            .map(|op| {
+                4 + 1
+                    + match op {
+                        Opinion::Accept(v) => v.wire_size(),
+                        Opinion::Reject => 0,
+                    }
+            })
+            .sum();
+        4 + self.view.wire_size() + self.border.wire_size() + 4 + opinions
+    }
+}
+
+impl<D> Message<D> {
+    /// Nodes whose opinion in this message is `Reject` — receivers strike
+    /// them from every wait set (they will never participate in this
+    /// instance again).
+    pub fn rejectors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.opinions
+            .iter()
+            .filter(|(_, op)| matches!(op, Opinion::Reject))
+            .map(|(&n, _)| n)
+    }
+}
+
+/// Builds the initial accept vector of a proposer (Algorithm 1 lines
+/// 15–16): everything `⊥` except the proposer's own `(accept, value)`.
+pub fn initial_accept_vector<D>(proposer: NodeId, value: D) -> Arc<OpinionVector<D>> {
+    let mut op = OpinionVector::new();
+    op.insert(proposer, Opinion::Accept(value));
+    Arc::new(op)
+}
+
+/// Builds a rejection vector (Algorithm 1 lines 29–30): everything `⊥`
+/// except the rejecter's `reject`.
+pub fn rejection_vector<D>(rejecter: NodeId) -> Arc<OpinionVector<D>> {
+    let mut op = OpinionVector::new();
+    op.insert(rejecter, Opinion::Reject);
+    Arc::new(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(ids: &[u32]) -> Region {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn opinion_accessors() {
+        let a: Opinion<u32> = Opinion::Accept(7);
+        let r: Opinion<u32> = Opinion::Reject;
+        assert!(a.is_accept());
+        assert!(!r.is_accept());
+        assert_eq!(a.accepted_value(), Some(&7));
+        assert_eq!(r.accepted_value(), None);
+    }
+
+    #[test]
+    fn vectors_start_singleton() {
+        let acc = initial_accept_vector(NodeId(3), 42u32);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[&NodeId(3)], Opinion::Accept(42));
+        let rej = rejection_vector::<u32>(NodeId(5));
+        assert_eq!(rej.len(), 1);
+        assert_eq!(rej[&NodeId(5)], Opinion::Reject);
+    }
+
+    #[test]
+    fn rejectors_lists_only_rejects() {
+        let mut op: OpinionVector<u32> = OpinionVector::new();
+        op.insert(NodeId(1), Opinion::Accept(1));
+        op.insert(NodeId(2), Opinion::Reject);
+        op.insert(NodeId(4), Opinion::Reject);
+        let msg = Message {
+            round: 2,
+            view: region(&[9]),
+            border: region(&[1, 2, 4]),
+            opinions: Arc::new(op),
+        };
+        let rejectors: Vec<NodeId> = msg.rejectors().collect();
+        assert_eq!(rejectors, vec![NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn wire_size_counts_components() {
+        let msg: Message<u32> = Message {
+            round: 1,
+            view: region(&[9]),                            // 4 + 4
+            border: region(&[1, 2]),                       // 4 + 8
+            opinions: initial_accept_vector(NodeId(1), 7), // 4 + (4 + 1 + 4)
+        };
+        assert_eq!(msg.wire_size(), 4 + 8 + 12 + 4 + 9);
+        let empty: Message<u32> = Message {
+            round: 1,
+            view: region(&[9]),
+            border: region(&[1, 2]),
+            opinions: Arc::new(OpinionVector::new()),
+        };
+        assert_eq!(empty.wire_size(), 4 + 8 + 12 + 4);
+    }
+}

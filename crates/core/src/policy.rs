@@ -1,0 +1,118 @@
+use std::fmt::Debug;
+
+use precipice_graph::NodeId;
+
+use crate::{View, WireSize};
+
+/// Application hook supplying decision values: what each border node
+/// *proposes* for a view (the paper's `selectValueForView`, line 14) and
+/// how a final value is *picked* from the accepted proposals (the paper's
+/// `deterministicPick`, line 35).
+///
+/// # Determinism contract
+///
+/// `pick` **must** be a deterministic function of the value sequence it is
+/// given. Uniform Border Agreement (CD5) rests on it: Lemma 3 guarantees
+/// all completing participants hold identical opinion vectors, so they
+/// call `pick` with identical inputs — identical outputs then give
+/// identical decisions. `propose` may depend on local state but is called
+/// at most once per (node, view) pair (Lemma 2).
+pub trait DecisionPolicy {
+    /// The decision value agreed upon alongside the region (a repair
+    /// plan, an elected coordinator, …).
+    type Value: Clone + Eq + Ord + Debug + WireSize;
+
+    /// The value this node proposes for `view` when starting a consensus
+    /// instance for it.
+    fn propose(&self, me: NodeId, view: &View) -> Self::Value;
+
+    /// Deterministically selects the decision from the accepted values,
+    /// given in border-node order (never empty).
+    fn pick(&self, values: &[Self::Value]) -> Self::Value;
+}
+
+/// Policy electing a coordinator among the border: each node proposes its
+/// own id, the smallest proposed id wins.
+///
+/// This is the "preference-based leader election" reading of the
+/// protocol's decision (paper §4): the agreed value designates which
+/// border node should drive the recovery action.
+///
+/// # Example
+///
+/// ```
+/// use precipice_core::{DecisionPolicy, NodeIdValuePolicy};
+/// use precipice_graph::NodeId;
+///
+/// let policy = NodeIdValuePolicy;
+/// assert_eq!(policy.pick(&[NodeId(4), NodeId(2), NodeId(9)]), NodeId(2));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeIdValuePolicy;
+
+impl DecisionPolicy for NodeIdValuePolicy {
+    type Value = NodeId;
+
+    fn propose(&self, me: NodeId, _view: &View) -> NodeId {
+        me
+    }
+
+    fn pick(&self, values: &[NodeId]) -> NodeId {
+        *values.iter().min().expect("pick called with no values")
+    }
+}
+
+/// Policy proposing a fixed value everywhere — useful when the decision
+/// *is* the view and the value channel is irrelevant (and for tests).
+///
+/// # Example
+///
+/// ```
+/// use precipice_core::{ConstPolicy, DecisionPolicy};
+///
+/// let policy = ConstPolicy(1u32);
+/// assert_eq!(policy.pick(&[1, 1, 1]), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstPolicy<D>(pub D);
+
+impl<D: Clone + Eq + Ord + Debug + WireSize> DecisionPolicy for ConstPolicy<D> {
+    type Value = D;
+
+    fn propose(&self, _me: NodeId, _view: &View) -> D {
+        self.0.clone()
+    }
+
+    fn pick(&self, values: &[D]) -> D {
+        values.first().expect("pick called with no values").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::{Graph, Region};
+
+    #[test]
+    fn node_id_policy_proposes_self_and_picks_min() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let view = View::new(&g, Region::from_iter([NodeId(1)]));
+        assert_eq!(NodeIdValuePolicy.propose(NodeId(2), &view), NodeId(2));
+        assert_eq!(NodeIdValuePolicy.pick(&[NodeId(2), NodeId(0)]), NodeId(0));
+    }
+
+    #[test]
+    fn const_policy_ignores_inputs() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let view = View::new(&g, Region::from_iter([NodeId(1)]));
+        let p = ConstPolicy("plan".to_string());
+        assert_eq!(p.propose(NodeId(0), &view), "plan");
+        assert_eq!(p.pick(&["plan".into(), "plan".into()]), "plan");
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn pick_requires_values() {
+        let _ = NodeIdValuePolicy.pick(&[]);
+    }
+}

@@ -1,0 +1,49 @@
+/// Protocol-level counters kept by a [`CliffEdgeNode`](crate::CliffEdgeNode).
+///
+/// These count *logical* protocol steps (proposals, rejections, rounds),
+/// complementing the transport-level message/byte accounting done by the
+/// runtime. The churn experiments (E6) report them directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Consensus instances this node started (Algorithm 1, line 13).
+    pub proposals: u64,
+    /// Instances that completed their final round with an all-accept
+    /// vector, producing a decision (line 35).
+    pub decided_instances: u64,
+    /// Instances that completed but failed (a `⊥` or a reject in the
+    /// final vector; line 37).
+    pub failed_instances: u64,
+    /// Instances abandoned early by the fast-abort optimization.
+    pub aborted_instances: u64,
+    /// Rejections this node issued (line 27).
+    pub rejects_sent: u64,
+    /// Messages ignored because their view was already rejected (line 18
+    /// guard).
+    pub ignored_messages: u64,
+    /// Crash notifications processed (line 5).
+    pub crashes_detected: u64,
+    /// Round-advancing multicasts (line 40), including closing floods.
+    pub round_messages: u64,
+    /// Highest round reached in any instance.
+    pub max_round: u32,
+    /// Distinct views for which instance state was created.
+    pub views_seen: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ProtocolStats::default();
+        assert_eq!(s.proposals, 0);
+        assert_eq!(s.max_round, 0);
+        assert_eq!(
+            s,
+            ProtocolStats {
+                ..Default::default()
+            }
+        );
+    }
+}

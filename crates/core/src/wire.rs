@@ -1,0 +1,88 @@
+/// Approximate encoded size of a value, for message byte accounting.
+///
+/// The experiments compare protocols by relative byte volume under a
+/// nominal binary encoding (node ids are 4 bytes, enum tags 1 byte); an
+/// implementation should return what a straightforward codec would emit.
+pub trait WireSize {
+    /// Approximate encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+macro_rules! impl_wire_size_for_int {
+    ($($t:ty),*) => {
+        $(impl WireSize for $t {
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_wire_size_for_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+impl WireSize for String {
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl WireSize for precipice_graph::NodeId {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl WireSize for precipice_graph::Region {
+    fn wire_size(&self) -> usize {
+        4 + 4 * self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::{NodeId, Region};
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(0u32.wire_size(), 4);
+        assert_eq!(0u64.wire_size(), 8);
+        assert_eq!(NodeId(7).wire_size(), 4);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!("ab".to_string().wire_size(), 6);
+        assert_eq!(vec![1u32, 2, 3].wire_size(), 16);
+        assert_eq!(Some(1u64).wire_size(), 9);
+        assert_eq!(None::<u64>.wire_size(), 1);
+        assert_eq!((NodeId(0), 2u32).wire_size(), 8);
+        let r: Region = [NodeId(1), NodeId(2)].into_iter().collect();
+        assert_eq!(r.wire_size(), 12);
+    }
+}

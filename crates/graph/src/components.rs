@@ -1,0 +1,167 @@
+use std::collections::BTreeSet;
+
+use crate::{Graph, NodeId, Region};
+
+/// Nodes of `set` reachable from `start` through edges of `g` whose both
+/// endpoints lie in `set` (breadth-first).
+///
+/// Returns the empty set if `start ∉ set`.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{reachable_within, Graph, NodeId};
+/// use std::collections::BTreeSet;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let set: BTreeSet<_> = [NodeId(0), NodeId(1), NodeId(3)].into();
+/// let reached = reachable_within(&g, NodeId(0), &set);
+/// // n3 is in the set but unreachable without n2.
+/// assert_eq!(reached, [NodeId(0), NodeId(1)].into());
+/// ```
+pub fn reachable_within(g: &Graph, start: NodeId, set: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    if !set.contains(&start) {
+        return seen;
+    }
+    let mut frontier = vec![start];
+    seen.insert(start);
+    while let Some(p) = frontier.pop() {
+        for &q in g.neighbors(p) {
+            if set.contains(&q) && seen.insert(q) {
+                frontier.push(q);
+            }
+        }
+    }
+    seen
+}
+
+/// The paper's `connectedComponents(S)` (§3.1): the maximal regions of `S`,
+/// i.e. the vertex sets of the connected components of the induced subgraph
+/// `G[S]`, in increasing order of their smallest node.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{connected_components, Graph, NodeId, Region};
+/// use std::collections::BTreeSet;
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+/// let crashed: BTreeSet<_> = [NodeId(0), NodeId(1), NodeId(4)].into();
+/// let comps = connected_components(&g, &crashed);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0], Region::from_iter([NodeId(0), NodeId(1)]));
+/// assert_eq!(comps[1], Region::from_iter([NodeId(4)]));
+/// ```
+pub fn connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<Region> {
+    let mut remaining: BTreeSet<NodeId> = set.clone();
+    let mut components = Vec::new();
+    while let Some(&seed) = remaining.iter().next() {
+        let comp = reachable_within(g, seed, &remaining);
+        for p in &comp {
+            remaining.remove(p);
+        }
+        components.push(comp.into_iter().collect());
+    }
+    components
+}
+
+/// `true` if `region` is a *region* of `g` in the paper's sense: a
+/// non-empty connected subgraph (§2.2).
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{is_connected_subset, Graph, Region, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert!(is_connected_subset(&g, &Region::from_iter([NodeId(1), NodeId(2)])));
+/// assert!(!is_connected_subset(&g, &Region::from_iter([NodeId(0), NodeId(3)])));
+/// assert!(!is_connected_subset(&g, &Region::empty()));
+/// ```
+pub fn is_connected_subset(g: &Graph, region: &Region) -> bool {
+    let Some(seed) = region.iter().next() else {
+        return false;
+    };
+    let set: BTreeSet<NodeId> = region.iter().collect();
+    reachable_within(g, seed, &set).len() == region.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{grid, ring, GridDims};
+
+    fn set(ids: &[u32]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn empty_set_has_no_components() {
+        let g = ring(5);
+        assert!(connected_components(&g, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn singletons_are_their_own_components() {
+        let g = Graph::from_edges(3, []);
+        let comps = connected_components(&g, &set(&[0, 2]));
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn components_partition_the_set() {
+        let g = grid(GridDims {
+            width: 4,
+            height: 4,
+        });
+        let crashed = set(&[0, 1, 2, 10, 11, 15]);
+        let comps = connected_components(&g, &crashed);
+        let union: BTreeSet<NodeId> = comps.iter().flat_map(Region::iter).collect();
+        assert_eq!(union, crashed);
+        // Pairwise disjoint.
+        for (i, a) in comps.iter().enumerate() {
+            for b in comps.iter().skip(i + 1) {
+                assert!(!a.intersects(b), "{a} overlaps {b}");
+            }
+        }
+        // Each component is connected and maximal.
+        for c in &comps {
+            assert!(is_connected_subset(&g, c));
+            let grown: BTreeSet<NodeId> = c
+                .iter()
+                .chain(
+                    g.border_of(c.iter())
+                        .into_iter()
+                        .filter(|q| crashed.contains(q)),
+                )
+                .collect();
+            assert_eq!(grown.len(), c.len(), "component {c} is not maximal");
+        }
+    }
+
+    #[test]
+    fn whole_connected_set_is_one_component() {
+        let g = ring(6);
+        let comps = connected_components(&g, &set(&[0, 1, 2]));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn ring_wraparound_components_merge() {
+        let g = ring(6);
+        // 5 - 0 are adjacent across the wrap.
+        let comps = connected_components(&g, &set(&[5, 0]));
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn reachability_respects_subset_constraint() {
+        let g = ring(6);
+        let reached = reachable_within(&g, NodeId(0), &set(&[0, 2, 3]));
+        assert_eq!(reached, set(&[0]));
+        assert!(reachable_within(&g, NodeId(1), &set(&[0])).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::{Graph, NodeId};
+
+/// Renders the graph in Graphviz DOT format, highlighting a crashed set.
+///
+/// Crashed nodes are drawn filled gray; border nodes of the crashed set are
+/// drawn with a bold outline. Handy for debugging scenario constructions
+/// and for documenting figure reproductions.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{to_dot, Graph, NodeId};
+/// use std::collections::BTreeSet;
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let crashed: BTreeSet<_> = [NodeId(1)].into();
+/// let dot = to_dot(&g, &crashed);
+/// assert!(dot.contains("graph G {"));
+/// assert!(dot.contains("n1"));
+/// ```
+pub fn to_dot(g: &Graph, crashed: &BTreeSet<NodeId>) -> String {
+    let border: BTreeSet<NodeId> = g.border_of(crashed.iter().copied()).into_iter().collect();
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for p in g.nodes() {
+        let name = g.display_name(p);
+        if crashed.contains(&p) {
+            let _ = writeln!(out, "  \"{name}\" [style=filled, fillcolor=gray70];");
+        } else if border.contains(&p) {
+            let _ = writeln!(out, "  \"{name}\" [penwidth=2.5];");
+        } else {
+            let _ = writeln!(out, "  \"{name}\";");
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\";",
+            g.display_name(u),
+            g.display_name(v)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_marks_crashed_and_border() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let crashed: BTreeSet<_> = [NodeId(1)].into();
+        let dot = to_dot(&g, &crashed);
+        assert!(dot.contains("\"n1\" [style=filled"));
+        assert!(dot.contains("\"n0\" [penwidth"));
+        assert!(dot.contains("\"n0\" -- \"n1\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_uses_labels_when_present() {
+        let mut b = crate::GraphBuilder::with_labels(["paris", "london"]);
+        b.add_edge_by_label("paris", "london");
+        let g = b.build();
+        let dot = to_dot(&g, &BTreeSet::new());
+        assert!(dot.contains("\"paris\" -- \"london\""));
+    }
+}

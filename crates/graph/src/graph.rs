@@ -1,0 +1,371 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Finite undirected knowledge graph `G = (Π, E)` (paper §2.2).
+///
+/// An edge `(p, q)` means `p` and `q` know each other: each is in the
+/// other's *border* (neighbourhood). The graph is immutable once built;
+/// crashes do **not** remove nodes — liveness is tracked by the runtime,
+/// while `G` stays queryable ("using some underlying topology service for
+/// crashed nodes", §2.2).
+///
+/// Nodes are the dense range `NodeId(0)..NodeId(n)`. Adjacency lists are
+/// kept sorted, enabling deterministic iteration everywhere.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// assert!(g.has_edge(NodeId(0), NodeId(1)));
+/// assert!(!g.has_edge(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    labels: Option<Vec<String>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Number of nodes `|Π|`.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// `true` if `id` names a node of this graph.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.adj.len()
+    }
+
+    /// The sorted neighbours of `p` — the paper's `border(p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a node of this graph.
+    pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
+        &self.adj[p.index()]
+    }
+
+    /// Degree of `p` (`|border(p)|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a node of this graph.
+    pub fn degree(&self, p: NodeId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    /// `true` if `p` and `q` are adjacent.
+    pub fn has_edge(&self, p: NodeId, q: NodeId) -> bool {
+        self.contains(p) && self.contains(q) && self.adj[p.index()].binary_search(&q).is_ok()
+    }
+
+    /// Iterates over all node ids in increasing order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = NodeId::from_index(u);
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The border of a node *set* `S` (paper §2.2):
+    /// `border(S) = { q ∈ Π \ S | ∃ p ∈ S : (p,q) ∈ E }`, sorted.
+    ///
+    /// The input need not be sorted or duplicate-free.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use precipice_graph::{Graph, NodeId};
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+    /// let border = g.border_of([NodeId(1), NodeId(2)]);
+    /// assert_eq!(border, vec![NodeId(0), NodeId(3)]);
+    /// ```
+    pub fn border_of<I>(&self, set: I) -> Vec<NodeId>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let members: BTreeSet<NodeId> = set.into_iter().collect();
+        let mut border = BTreeSet::new();
+        for &p in &members {
+            for &q in self.neighbors(p) {
+                if !members.contains(&q) {
+                    border.insert(q);
+                }
+            }
+        }
+        border.into_iter().collect()
+    }
+
+    /// Optional human-readable label of `p` (used by named topologies such
+    /// as the Figure-1 cities network).
+    pub fn label(&self, p: NodeId) -> Option<&str> {
+        self.labels
+            .as_ref()
+            .and_then(|ls| ls.get(p.index()))
+            .map(String::as_str)
+    }
+
+    /// Label of `p`, falling back to its `Display` form.
+    pub fn display_name(&self, p: NodeId) -> String {
+        self.label(p).map_or_else(|| p.to_string(), str::to_owned)
+    }
+
+    /// Looks a node up by its label.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        let labels = self.labels.as_ref()?;
+        labels
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::from_index)
+    }
+
+    /// `true` if the whole graph is connected (or empty).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let all: BTreeSet<NodeId> = self.nodes().collect();
+        crate::reachable_within(self, NodeId(0), &all).len() == self.len()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.len())
+            .field("edges", &self.edge_count)
+            .field("labeled", &self.labels.is_some())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(2);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adj: Vec<BTreeSet<NodeId>>,
+    labels: Option<Vec<String>>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` unlabeled nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            adj: vec![BTreeSet::new(); n],
+            labels: None,
+        }
+    }
+
+    /// Starts a builder whose nodes carry the given labels (one node per
+    /// label, in order).
+    pub fn with_labels<S: Into<String>, I: IntoIterator<Item = S>>(labels: I) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        GraphBuilder {
+            adj: vec![BTreeSet::new(); labels.len()],
+            labels: Some(labels),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` if the builder holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops and duplicates are
+    /// silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u.index() < self.adj.len(), "edge endpoint {u} out of range");
+        assert!(v.index() < self.adj.len(), "edge endpoint {v} out of range");
+        if u != v {
+            self.adj[u.index()].insert(v);
+            self.adj[v.index()].insert(u);
+        }
+        self
+    }
+
+    /// Adds the edge between two labeled nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is unknown or the builder is unlabeled.
+    pub fn add_edge_by_label(&mut self, u: &str, v: &str) -> &mut Self {
+        let labels = self.labels.as_ref().expect("builder has no labels");
+        let find = |name: &str| {
+            labels
+                .iter()
+                .position(|l| l == name)
+                .map(NodeId::from_index)
+                .unwrap_or_else(|| panic!("unknown node label {name:?}"))
+        };
+        let (u, v) = (find(u), find(v));
+        self.add_edge(u, v)
+    }
+
+    /// Finalizes the graph.
+    pub fn build(self) -> Graph {
+        let adj: Vec<Vec<NodeId>> = self
+            .adj
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
+        Graph {
+            adj,
+            labels: self.labels,
+            edge_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let g = Graph::from_edges(5, [(3, 1), (1, 0), (3, 0), (4, 3)]);
+        assert_eq!(g.neighbors(NodeId(3)), &[NodeId(0), NodeId(1), NodeId(4)]);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_ignored() {
+        let g = Graph::from_edges(3, [(0, 0), (0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn border_of_set_excludes_members() {
+        let g = path4();
+        assert_eq!(
+            g.border_of([NodeId(1), NodeId(2)]),
+            vec![NodeId(0), NodeId(3)]
+        );
+        assert_eq!(g.border_of([NodeId(0)]), vec![NodeId(1)]);
+        // Whole graph has an empty border.
+        assert!(g.border_of(g.nodes()).is_empty());
+        // Empty set has an empty border.
+        assert!(g.border_of([]).is_empty());
+    }
+
+    #[test]
+    fn border_of_duplicated_input() {
+        let g = path4();
+        assert_eq!(
+            g.border_of([NodeId(1), NodeId(1)]),
+            vec![NodeId(0), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let mut b = GraphBuilder::with_labels(["paris", "london"]);
+        b.add_edge_by_label("paris", "london");
+        let g = b.build();
+        assert_eq!(g.node_by_label("london"), Some(NodeId(1)));
+        assert_eq!(g.label(NodeId(0)), Some("paris"));
+        assert_eq!(g.display_name(NodeId(0)), "paris");
+        assert_eq!(g.node_by_label("tokyo"), None);
+    }
+
+    #[test]
+    fn unlabeled_display_name_falls_back() {
+        let g = path4();
+        assert_eq!(g.display_name(NodeId(2)), "n2");
+        assert_eq!(g.label(NodeId(2)), None);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn connectivity_check() {
+        assert!(path4().is_connected());
+        assert!(!Graph::from_edges(4, [(0, 1), (2, 3)]).is_connected());
+        assert!(Graph::from_edges(0, []).is_connected());
+        assert!(!Graph::from_edges(2, []).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5));
+    }
+}

@@ -1,0 +1,56 @@
+//! Topology substrate for cliff-edge consensus.
+//!
+//! The paper models a distributed system as a finite undirected graph
+//! `G = (Π, E)` capturing *which nodes know each other* (§2.2). Everything
+//! the protocol reasons about is derived from this graph:
+//!
+//! - the **border** of a node or a node set ([`Graph::neighbors`],
+//!   [`Graph::border_of`]),
+//! - **regions** — connected subgraphs, canonically represented by
+//!   [`Region`],
+//! - **connected components** of a crashed node set
+//!   ([`connected_components`]),
+//! - the strict total **ranking** `≻` between regions used by the
+//!   arbitration mechanism ([`rank_cmp`], [`max_ranked_region`]).
+//!
+//! The crate also provides the topology *generators* used by the
+//! experiment workloads (rings, grids, tori, random geometric graphs,
+//! Erdős–Rényi, Barabási–Albert, Watts–Strogatz, trees) and a small
+//! [`Topology`] abstraction so protocol code can query `G` on demand — the
+//! paper's "underlying topology service" — without owning it.
+//!
+//! # Example
+//!
+//! ```
+//! use precipice_graph::{Graph, NodeId, Region};
+//!
+//! // A 4-cycle: 0 - 1 - 2 - 3 - 0
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let region = Region::from_iter([NodeId(1)]);
+//! let border = g.border_of(region.iter());
+//! assert_eq!(border, vec![NodeId(0), NodeId(2)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod components;
+mod dot;
+mod generators;
+mod graph;
+mod node;
+mod rank;
+mod region;
+mod topology;
+
+pub use components::{connected_components, is_connected_subset, reachable_within};
+pub use dot::to_dot;
+pub use generators::{
+    barabasi_albert, complete, erdos_renyi_connected, grid, path, random_geometric_connected,
+    random_tree, ring, star, torus, watts_strogatz, GridDims,
+};
+pub use graph::{Graph, GraphBuilder};
+pub use node::NodeId;
+pub use rank::{max_ranked_region, rank_cmp, rank_cmp_keyed, RankKey};
+pub use region::Region;
+pub use topology::Topology;

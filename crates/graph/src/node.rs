@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Identifier of a node (a process `pᵢ ∈ Π`) in the knowledge graph.
+///
+/// Nodes of a [`Graph`](crate::Graph) with `n` nodes are identified by the
+/// dense range `NodeId(0) .. NodeId(n)`. The inner index is public: node ids
+/// are plain, passive values and the dense representation is part of the
+/// crate contract (adjacency is stored per index).
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index into dense per-node storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for raw in [0u32, 1, 7, 4096, u32::MAX] {
+            let id = NodeId(raw);
+            assert_eq!(NodeId::from_index(id.index()), id);
+        }
+    }
+
+    #[test]
+    fn display_and_debug_match() {
+        let id = NodeId(42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NodeId::from(9u32), NodeId(9));
+        assert_eq!(u32::from(NodeId(9)), 9);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+    }
+}

@@ -1,0 +1,237 @@
+use std::cmp::Ordering;
+
+use crate::{Graph, Region};
+
+/// The paper's ranking relation `≻` between regions (§3.1).
+///
+/// `R ≻ S` iff
+/// 1. `|R| > |S|`, or
+/// 2. `|R| = |S|` and `|border(R)| > |border(S)|`, or
+/// 3. both sizes tie and `R` is greater according to a strict total order
+///    on node sets (here: lexicographic order on the sorted node ids —
+///    the paper notes "the actual ordering relation on node sets does not
+///    matter", only that it is strict and total).
+///
+/// Returns `Ordering::Greater` when `a ≻ b`. This is a strict total order
+/// on regions and it *subsumes strict set inclusion* (`R ⊋ S ⇒ R ≻ S`),
+/// which the Progress proof (Theorem 4) relies on.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{rank_cmp, Graph, NodeId, Region};
+/// use std::cmp::Ordering;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let small = Region::from_iter([NodeId(1)]);
+/// let big = Region::from_iter([NodeId(1), NodeId(2)]);
+/// assert_eq!(rank_cmp(&g, &big, &small), Ordering::Greater);
+/// ```
+pub fn rank_cmp(g: &Graph, a: &Region, b: &Region) -> Ordering {
+    RankKey::new(g, a.clone()).cmp(&RankKey::new(g, b.clone()))
+}
+
+/// Like [`rank_cmp`] but with the border sizes already known, avoiding the
+/// border recomputation. Exposed for protocol code that caches borders.
+pub fn rank_cmp_keyed(
+    a: &Region,
+    a_border_size: usize,
+    b: &Region,
+    b_border_size: usize,
+) -> Ordering {
+    (a.len(), a_border_size, a.as_slice()).cmp(&(b.len(), b_border_size, b.as_slice()))
+}
+
+/// A region together with its precomputed rank components, ordered by the
+/// ranking relation `≻` ([`rank_cmp`]).
+///
+/// Useful when the same region is compared repeatedly (the protocol ranks
+/// every incoming view against its current proposal).
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{Graph, NodeId, Region, RankKey};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let k1 = RankKey::new(&g, Region::from_iter([NodeId(0)]));
+/// let k2 = RankKey::new(&g, Region::from_iter([NodeId(1)]));
+/// // Same size; n1 has the larger border (two neighbours vs one).
+/// assert!(k2 > k1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankKey {
+    size: usize,
+    border_size: usize,
+    region: Region,
+}
+
+impl RankKey {
+    /// Computes the key for `region` on graph `g`.
+    pub fn new(g: &Graph, region: Region) -> Self {
+        let border_size = g.border_of(region.iter()).len();
+        RankKey {
+            size: region.len(),
+            border_size,
+            region,
+        }
+    }
+
+    /// Builds a key from cached parts (must satisfy
+    /// `border_size = |border(region)|` for the intended graph).
+    pub fn from_parts(region: Region, border_size: usize) -> Self {
+        RankKey {
+            size: region.len(),
+            border_size,
+            region,
+        }
+    }
+
+    /// The region this key ranks.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// `|border(region)|` as cached at construction.
+    pub fn border_size(&self) -> usize {
+        self.border_size
+    }
+}
+
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.size, self.border_size, self.region.as_slice()).cmp(&(
+            other.size,
+            other.border_size,
+            other.region.as_slice(),
+        ))
+    }
+}
+
+/// The paper's `maxRankedRegion(C)` (§3.1): the highest-ranked region of a
+/// collection, or `None` if the collection is empty.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{max_ranked_region, Graph, NodeId, Region};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let a = Region::from_iter([NodeId(0)]);
+/// let b = Region::from_iter([NodeId(2), NodeId(3)]);
+/// let best = max_ranked_region(&g, [a, b.clone()]).unwrap();
+/// assert_eq!(best, b);
+/// ```
+pub fn max_ranked_region<I>(g: &Graph, regions: I) -> Option<Region>
+where
+    I: IntoIterator<Item = Region>,
+{
+    regions.into_iter().max_by(|a, b| rank_cmp(g, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{grid, GridDims, NodeId};
+
+    fn r(ids: &[u32]) -> Region {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn size_dominates() {
+        let g = grid(GridDims {
+            width: 3,
+            height: 3,
+        });
+        assert_eq!(rank_cmp(&g, &r(&[0, 1]), &r(&[4])), Ordering::Greater);
+        assert_eq!(rank_cmp(&g, &r(&[4]), &r(&[0, 1])), Ordering::Less);
+    }
+
+    #[test]
+    fn border_breaks_size_ties() {
+        let g = grid(GridDims {
+            width: 3,
+            height: 3,
+        });
+        // Center of a 3x3 grid (node 4) has border 4; corner (node 0) has 2.
+        assert_eq!(rank_cmp(&g, &r(&[4]), &r(&[0])), Ordering::Greater);
+    }
+
+    #[test]
+    fn lex_breaks_full_ties() {
+        let g = grid(GridDims {
+            width: 3,
+            height: 3,
+        });
+        // Two opposite corners have identical size and border size.
+        assert_eq!(rank_cmp(&g, &r(&[8]), &r(&[0])), Ordering::Greater);
+        assert_eq!(rank_cmp(&g, &r(&[0]), &r(&[8])), Ordering::Less);
+    }
+
+    #[test]
+    fn reflexive_equality() {
+        let g = grid(GridDims {
+            width: 3,
+            height: 3,
+        });
+        assert_eq!(rank_cmp(&g, &r(&[1, 2]), &r(&[1, 2])), Ordering::Equal);
+    }
+
+    #[test]
+    fn subsumes_strict_inclusion() {
+        let g = grid(GridDims {
+            width: 4,
+            height: 4,
+        });
+        let small = r(&[5, 6]);
+        let big = r(&[5, 6, 7]);
+        assert_eq!(rank_cmp(&g, &big, &small), Ordering::Greater);
+    }
+
+    #[test]
+    fn max_ranked_region_picks_highest() {
+        let g = grid(GridDims {
+            width: 3,
+            height: 3,
+        });
+        let best = max_ranked_region(&g, [r(&[0]), r(&[4]), r(&[0, 1])]).unwrap();
+        assert_eq!(best, r(&[0, 1]));
+        assert_eq!(max_ranked_region(&g, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn keyed_matches_unkeyed() {
+        let g = grid(GridDims {
+            width: 4,
+            height: 4,
+        });
+        let regions = [r(&[0]), r(&[5]), r(&[0, 1]), r(&[1, 5]), r(&[14, 15])];
+        for a in &regions {
+            for b in &regions {
+                let ka = g.border_of(a.iter()).len();
+                let kb = g.border_of(b.iter()).len();
+                assert_eq!(rank_cmp(&g, a, b), rank_cmp_keyed(a, ka, b, kb));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_key_accessors() {
+        let g = grid(GridDims {
+            width: 3,
+            height: 3,
+        });
+        let k = RankKey::new(&g, r(&[4]));
+        assert_eq!(k.border_size(), 4);
+        assert_eq!(k.region(), &r(&[4]));
+        let same = RankKey::from_parts(r(&[4]), 4);
+        assert_eq!(k, same);
+    }
+}

@@ -1,0 +1,241 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::NodeId;
+
+/// A canonical, immutable set of nodes — the unit the protocol agrees on.
+///
+/// The paper calls a *region* a connected subgraph of `G`, and a *crashed
+/// region* one whose nodes have all crashed (§2.2). `Region` is the carrier
+/// type: a sorted, duplicate-free, cheaply clonable (`Arc`-shared) node set.
+/// Connectivity is a property of a region *with respect to a graph* and is
+/// checked where it matters (see
+/// [`is_connected_subset`](crate::is_connected_subset)); the protocol only
+/// ever *constructs* regions out of connected components, so the carrier
+/// does not enforce it.
+///
+/// `Region` is used pervasively as a map key indexing superposed consensus
+/// instances, so `Eq`/`Ord`/`Hash` follow plain lexicographic set order.
+/// The paper's *ranking* `≻` is a different order that also weighs border
+/// sizes — see [`rank_cmp`](crate::rank_cmp).
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{NodeId, Region};
+///
+/// let r = Region::from_iter([NodeId(3), NodeId(1), NodeId(3)]);
+/// assert_eq!(r.len(), 2);
+/// assert!(r.contains(NodeId(1)));
+/// assert_eq!(r.to_string(), "{n1, n3}");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region {
+    nodes: Arc<[NodeId]>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Self {
+        Region {
+            nodes: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Builds a region from a pre-sorted, duplicate-free vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `nodes` is not strictly increasing.
+    pub fn from_sorted_vec(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "region nodes must be strictly sorted"
+        );
+        Region {
+            nodes: nodes.into(),
+        }
+    }
+
+    /// Number of nodes in the region.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the region has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, p: NodeId) -> bool {
+        self.nodes.binary_search(&p).is_ok()
+    }
+
+    /// Iterates the nodes in increasing order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The nodes as a sorted slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `true` if `self` and `other` share at least one node.
+    ///
+    /// This is the overlap test of property CD6 (View Convergence).
+    pub fn intersects(&self, other: &Region) -> bool {
+        // Linear merge over the two sorted slices.
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() && j < other.nodes.len() {
+            match self.nodes[i].cmp(&other.nodes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// `true` if every node of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Region) -> bool {
+        if self.nodes.len() > other.nodes.len() {
+            return false;
+        }
+        self.iter().all(|p| other.contains(p))
+    }
+
+    /// Set union, as a new region.
+    pub fn union(&self, other: &Region) -> Region {
+        let set: BTreeSet<NodeId> = self.iter().chain(other.iter()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Set intersection, as a new region.
+    pub fn intersection(&self, other: &Region) -> Region {
+        self.iter().filter(|&p| other.contains(p)).collect()
+    }
+}
+
+impl FromIterator<NodeId> for Region {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let set: BTreeSet<NodeId> = iter.into_iter().collect();
+        Region {
+            nodes: set.into_iter().collect::<Vec<_>>().into(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Region {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter().copied()
+    }
+}
+
+impl From<&[NodeId]> for Region {
+    fn from(nodes: &[NodeId]) -> Self {
+        nodes.iter().copied().collect()
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Region{self}")
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ids: &[u32]) -> Region {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let reg = r(&[5, 1, 3, 1, 5]);
+        assert_eq!(reg.as_slice(), &[NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn empty_region() {
+        let e = Region::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(NodeId(0)));
+        assert!(!e.intersects(&r(&[0, 1])));
+        assert!(e.is_subset_of(&r(&[0])));
+        assert_eq!(e.to_string(), "{}");
+    }
+
+    #[test]
+    fn membership() {
+        let reg = r(&[2, 4, 9]);
+        assert!(reg.contains(NodeId(4)));
+        assert!(!reg.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        assert!(r(&[1, 2, 3]).intersects(&r(&[3, 4])));
+        assert!(!r(&[1, 2]).intersects(&r(&[3, 4])));
+        assert!(r(&[7]).intersects(&r(&[7])));
+        assert!(!r(&[1, 5, 9]).intersects(&r(&[0, 2, 6, 10])));
+    }
+
+    #[test]
+    fn subset_and_union_and_intersection() {
+        let a = r(&[1, 2]);
+        let b = r(&[1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert_eq!(a.union(&b), b);
+        assert_eq!(a.intersection(&b), a);
+        assert_eq!(r(&[1, 4]).intersection(&r(&[4, 5])), r(&[4]));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        assert_eq!(r(&[3, 1]), r(&[1, 3]));
+        assert_ne!(r(&[1]), r(&[1, 3]));
+    }
+
+    #[test]
+    fn display_formats_sorted() {
+        assert_eq!(r(&[3, 1]).to_string(), "{n1, n3}");
+        assert_eq!(format!("{:?}", r(&[2])), "Region{n2}");
+    }
+
+    #[test]
+    fn from_sorted_vec_accepts_sorted() {
+        let reg = Region::from_sorted_vec(vec![NodeId(0), NodeId(2)]);
+        assert_eq!(reg, r(&[0, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_vec_rejects_unsorted() {
+        let _ = Region::from_sorted_vec(vec![NodeId(2), NodeId(0)]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the topology substrate.
+//!
+//! These check the algebraic laws the protocol's correctness proofs lean
+//! on: the ranking relation is a strict total order that subsumes strict
+//! set inclusion (used by Theorem 4 / Progress), connected components
+//! partition their input (used by view construction), and borders are
+//! disjoint from their sets (used by View Accuracy).
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use precipice_graph::{
+    connected_components, is_connected_subset, max_ranked_region, random_tree, rank_cmp, ring,
+    torus, Graph, GridDims, NodeId, Region,
+};
+
+/// An arbitrary connected graph: random tree plus random extra edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        3usize..40,
+        any::<u64>(),
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..60),
+    )
+        .prop_map(|(n, seed, extra)| {
+            let tree = random_tree(n, seed);
+            let mut edges: Vec<(u32, u32)> = tree.edges().map(|(u, v)| (u.0, v.0)).collect();
+            for (a, b) in extra {
+                edges.push((a % n as u32, b % n as u32));
+            }
+            Graph::from_edges(n, edges)
+        })
+}
+
+fn arb_subset(n: usize) -> impl Strategy<Value = BTreeSet<NodeId>> {
+    proptest::collection::btree_set(0..n as u32, 0..=n)
+        .prop_map(|raw| raw.into_iter().map(NodeId).collect())
+}
+
+proptest! {
+    #[test]
+    fn components_partition_input(
+        (g, set) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_subset(n))
+        })
+    ) {
+        let comps = connected_components(&g, &set);
+        // Union equals the input set.
+        let union: BTreeSet<NodeId> = comps.iter().flat_map(Region::iter).collect();
+        prop_assert_eq!(&union, &set);
+        // Pairwise disjoint and each connected.
+        for (i, a) in comps.iter().enumerate() {
+            prop_assert!(is_connected_subset(&g, a));
+            for b in comps.iter().skip(i + 1) {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+        // Maximality: no edge of G joins two distinct components.
+        for (i, a) in comps.iter().enumerate() {
+            for b in comps.iter().skip(i + 1) {
+                for p in a.iter() {
+                    for &q in g.neighbors(p) {
+                        prop_assert!(!b.contains(q), "edge {}-{} crosses components", p, q);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn border_is_disjoint_and_adjacent(
+        (g, set) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_subset(n))
+        })
+    ) {
+        let border = g.border_of(set.iter().copied());
+        for q in &border {
+            prop_assert!(!set.contains(q));
+            prop_assert!(g.neighbors(*q).iter().any(|p| set.contains(p)));
+        }
+        // Completeness: any non-member adjacent to a member is in the border.
+        for p in g.nodes() {
+            if !set.contains(&p) && g.neighbors(p).iter().any(|q| set.contains(q)) {
+                prop_assert!(border.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_is_a_strict_total_order(
+        (g, sets) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), proptest::collection::vec(arb_subset(n), 3))
+        })
+    ) {
+        let regions: Vec<Region> = sets.iter().map(|s| s.iter().copied().collect()).collect();
+        let (a, b, c) = (&regions[0], &regions[1], &regions[2]);
+        // Antisymmetry: cmp(a,b) is the reverse of cmp(b,a).
+        prop_assert_eq!(rank_cmp(&g, a, b), rank_cmp(&g, b, a).reverse());
+        // Equality only for equal regions (strictness/totality).
+        if rank_cmp(&g, a, b) == Ordering::Equal {
+            prop_assert_eq!(a, b);
+        }
+        // Transitivity over the sampled triple.
+        if rank_cmp(&g, a, b) != Ordering::Greater && rank_cmp(&g, b, c) != Ordering::Greater {
+            prop_assert_ne!(rank_cmp(&g, a, c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn ranking_subsumes_strict_inclusion(
+        (g, set) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_subset(n))
+        }),
+        drop_idx in any::<prop::sample::Index>()
+    ) {
+        prop_assume!(!set.is_empty());
+        let big: Region = set.iter().copied().collect();
+        let drop = *drop_idx.get(&set.iter().copied().collect::<Vec<_>>());
+        let small: Region = set.iter().copied().filter(|&p| p != drop).collect();
+        prop_assert_eq!(rank_cmp(&g, &big, &small), Ordering::Greater);
+    }
+
+    #[test]
+    fn max_ranked_region_is_maximum(
+        (g, sets) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), proptest::collection::vec(arb_subset(n), 1..6))
+        })
+    ) {
+        let regions: Vec<Region> = sets.iter().map(|s| s.iter().copied().collect()).collect();
+        let best = max_ranked_region(&g, regions.clone()).unwrap();
+        for r in &regions {
+            prop_assert_ne!(rank_cmp(&g, r, &best), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn region_set_operations_behave(ids_a in proptest::collection::btree_set(0u32..64, 0..20),
+                                     ids_b in proptest::collection::btree_set(0u32..64, 0..20)) {
+        let a: Region = ids_a.iter().map(|&i| NodeId(i)).collect();
+        let b: Region = ids_b.iter().map(|&i| NodeId(i)).collect();
+        let inter = a.intersection(&b);
+        let union = a.union(&b);
+        prop_assert_eq!(a.intersects(&b), !inter.is_empty());
+        prop_assert!(inter.is_subset_of(&a) && inter.is_subset_of(&b));
+        prop_assert!(a.is_subset_of(&union) && b.is_subset_of(&union));
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+    }
+}
+
+#[test]
+fn torus_region_borders_are_connectivity_consistent() {
+    let g = torus(GridDims::square(6));
+    for seed in 0..6u32 {
+        let mut set = BTreeSet::new();
+        set.insert(NodeId(seed));
+        for q in g.neighbors(NodeId(seed)) {
+            set.insert(*q);
+        }
+        let comps = connected_components(&g, &set);
+        assert_eq!(comps.len(), 1, "ball around {seed} must be connected");
+    }
+}
+
+#[test]
+fn ring_components_wrap() {
+    let g = ring(8);
+    let set: BTreeSet<NodeId> = [7u32, 0, 1].into_iter().map(NodeId).collect();
+    let comps = connected_components(&g, &set);
+    assert_eq!(comps.len(), 1);
+    assert_eq!(comps[0].len(), 3);
+}

@@ -1,0 +1,41 @@
+//! Live thread-per-node backend for cliff-edge consensus.
+//!
+//! Runs the exact same sans-io [`CliffEdgeNode`](precipice_core::CliffEdgeNode)
+//! state machine as the simulator, but on real OS threads exchanging
+//! messages over `crossbeam` FIFO channels — demonstrating that the
+//! protocol core is transport-agnostic and exercising it under genuine
+//! concurrency and nondeterministic scheduling (experiment E8).
+//!
+//! The paper's perfect failure detector is provided by a **kill-switch
+//! oracle**: crashes are always *induced* (via [`LiveCluster::kill`]), so
+//! the oracle knows the ground truth and can notify subscribers without
+//! ever suspecting a live node — the only way to realize a perfect FD in
+//! an asynchronous system. A killed node stops processing immediately
+//! (its kill flag is checked before every event) and its queued inbox is
+//! discarded; messages it sent earlier remain in flight, matching the
+//! paper's reliable-channel model.
+//!
+//! # Example
+//!
+//! ```
+//! use precipice_graph::{path, NodeId};
+//! use precipice_net::LiveCluster;
+//! use std::time::Duration;
+//!
+//! let mut cluster = LiveCluster::start(path(3), Default::default());
+//! cluster.kill(NodeId(1));
+//! assert!(cluster.await_quiescence(Duration::from_millis(100), Duration::from_secs(10)));
+//! let report = cluster.shutdown();
+//! let d0 = &report.decisions[&NodeId(0)];
+//! let d2 = &report.decisions[&NodeId(2)];
+//! assert_eq!(d0, d2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod oracle;
+
+pub use cluster::{LiveCluster, LiveReport};
+pub use oracle::Oracle;

@@ -1,0 +1,366 @@
+use std::collections::BTreeSet;
+use std::fmt::{self, Debug};
+
+use precipice_graph::{is_connected_subset, NodeId, Region};
+
+use crate::domains::{faulty_clusters, faulty_domains};
+use crate::report::RunReport;
+
+/// A violation of the convergent-detection specification (paper §2.3)
+/// found in a run report.
+///
+/// `check_spec` returning an empty list certifies CD1–CD7 for that run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// CD2: the decider is not on the border of its decided view.
+    ViewAccuracyBorder {
+        /// The decider.
+        node: NodeId,
+        /// The offending view's region.
+        region: Region,
+    },
+    /// CD2: the decided view is not a connected region.
+    ViewAccuracyConnected {
+        /// The decider.
+        node: NodeId,
+        /// The offending view's region.
+        region: Region,
+    },
+    /// CD2: a node of the decided view had not crashed by decision time.
+    ViewAccuracyNotCrashed {
+        /// The decider.
+        node: NodeId,
+        /// The view member that was still alive.
+        member: NodeId,
+    },
+    /// CD3: a message flowed between two nodes not joined by any faulty
+    /// domain's closure.
+    Locality {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// CD4: a correct border node of a decided view never decided.
+    BorderTermination {
+        /// The node that decided the view.
+        decider: NodeId,
+        /// The correct border node that never decided.
+        missing: NodeId,
+    },
+    /// CD5: two border-sharing deciders disagreed on view or value.
+    UniformBorderAgreement {
+        /// First decider.
+        p: NodeId,
+        /// Second decider (in `border(view(p))`).
+        q: NodeId,
+    },
+    /// CD6: two correct deciders hold partially overlapping views.
+    ViewConvergence {
+        /// First decider.
+        p: NodeId,
+        /// Second decider.
+        q: NodeId,
+    },
+    /// CD7: a faulty cluster where no correct border node ever decided.
+    Progress {
+        /// The domains of the starved cluster.
+        cluster: Vec<Region>,
+    },
+    /// The run did not reach quiescence (event-cap hit — livelock).
+    NonQuiescent,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ViewAccuracyBorder { node, region } => {
+                write!(f, "CD2: {node} decided {region} but is not on its border")
+            }
+            Violation::ViewAccuracyConnected { node, region } => {
+                write!(f, "CD2: {node} decided disconnected set {region}")
+            }
+            Violation::ViewAccuracyNotCrashed { node, member } => {
+                write!(
+                    f,
+                    "CD2: {node} decided a view containing live/late node {member}"
+                )
+            }
+            Violation::Locality { from, to } => {
+                write!(
+                    f,
+                    "CD3: message {from} -> {to} outside any faulty domain closure"
+                )
+            }
+            Violation::BorderTermination { decider, missing } => {
+                write!(
+                    f,
+                    "CD4: {decider} decided but correct border node {missing} never did"
+                )
+            }
+            Violation::UniformBorderAgreement { p, q } => {
+                write!(f, "CD5: {p} and {q} share a border but decided differently")
+            }
+            Violation::ViewConvergence { p, q } => {
+                write!(
+                    f,
+                    "CD6: correct nodes {p} and {q} decided partially overlapping views"
+                )
+            }
+            Violation::Progress { cluster } => {
+                write!(
+                    f,
+                    "CD7: no correct border node decided in cluster {cluster:?}"
+                )
+            }
+            Violation::NonQuiescent => write!(f, "run did not reach quiescence"),
+        }
+    }
+}
+
+/// Checks all seven CD properties (plus quiescence) against a run report
+/// and returns every violation found.
+///
+/// CD1 (Integrity — no node decides twice on the same region) is
+/// structurally guaranteed: the state machine asserts single decision and
+/// the report holds at most one decision per node; it is nevertheless
+/// re-checked here by construction of the decision map.
+///
+/// The checker needs `report.message_pairs` (trace recording enabled) to
+/// verify CD3; without a trace, CD3 is skipped.
+pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let graph = report.graph.as_ref();
+    let faulty: BTreeSet<NodeId> = report.crashed.keys().copied().collect();
+    let domains = faulty_domains(graph, &faulty);
+
+    if !report.outcome.is_quiescent() {
+        violations.push(Violation::NonQuiescent);
+    }
+
+    // --- CD2: View Accuracy -------------------------------------------
+    for (&p, d) in &report.decisions {
+        let region = d.view.region();
+        let border: BTreeSet<NodeId> = graph.border_of(region.iter()).into_iter().collect();
+        if !border.contains(&p) {
+            violations.push(Violation::ViewAccuracyBorder {
+                node: p,
+                region: region.clone(),
+            });
+        }
+        if !is_connected_subset(graph, region) {
+            violations.push(Violation::ViewAccuracyConnected {
+                node: p,
+                region: region.clone(),
+            });
+        }
+        for member in region.iter() {
+            match report.crashed.get(&member) {
+                Some(&t) if t <= d.at => {}
+                _ => violations.push(Violation::ViewAccuracyNotCrashed { node: p, member }),
+            }
+        }
+    }
+
+    // --- CD3: Locality -------------------------------------------------
+    if let Some(pairs) = &report.message_pairs {
+        // Precompute each domain's closure S ∪ border(S).
+        let closures: Vec<BTreeSet<NodeId>> = domains
+            .iter()
+            .map(|dom| {
+                dom.iter()
+                    .chain(graph.border_of(dom.iter()))
+                    .collect::<BTreeSet<NodeId>>()
+            })
+            .collect();
+        let mut seen: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for &(from, to) in pairs {
+            if !seen.insert((from, to)) {
+                continue;
+            }
+            let ok = closures
+                .iter()
+                .any(|c| c.contains(&from) && c.contains(&to));
+            if !ok {
+                violations.push(Violation::Locality { from, to });
+            }
+        }
+    }
+
+    // --- CD4 + CD5: Border Termination & Uniform Border Agreement ------
+    for (&p, dp) in &report.decisions {
+        for q in dp.view.border().iter() {
+            if q == p {
+                continue;
+            }
+            match report.decisions.get(&q) {
+                Some(dq) => {
+                    // CD5 is uniform: it binds every decider in the
+                    // border, faulty or not.
+                    if dq.view != dp.view || dq.value != dp.value {
+                        violations.push(Violation::UniformBorderAgreement { p, q });
+                    }
+                }
+                None => {
+                    if !report.is_faulty(q) {
+                        violations.push(Violation::BorderTermination {
+                            decider: p,
+                            missing: q,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- CD6: View Convergence (correct deciders only) ------------------
+    let correct_deciders: Vec<NodeId> = report
+        .decisions
+        .keys()
+        .copied()
+        .filter(|n| !report.is_faulty(*n))
+        .collect();
+    for (i, &p) in correct_deciders.iter().enumerate() {
+        for &q in &correct_deciders[i + 1..] {
+            let (vp, vq) = (&report.decisions[&p].view, &report.decisions[&q].view);
+            if vp.region().intersects(vq.region()) && vp.region() != vq.region() {
+                violations.push(Violation::ViewConvergence { p, q });
+            }
+        }
+    }
+
+    // --- CD7: Progress ---------------------------------------------------
+    for cluster in faulty_clusters(graph, &domains) {
+        let satisfied = cluster.iter().any(|&i| {
+            graph
+                .border_of(domains[i].iter())
+                .into_iter()
+                .any(|b| !faulty.contains(&b) && report.decisions.contains_key(&b))
+        });
+        if !satisfied {
+            violations.push(Violation::Progress {
+                cluster: cluster.into_iter().map(|i| domains[i].clone()).collect(),
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use precipice_core::View;
+    use precipice_graph::{path, NodeId};
+    use precipice_sim::SimTime;
+
+    fn ok_report() -> RunReport<NodeId> {
+        Scenario::builder(path(3))
+            .crash(NodeId(1), SimTime::from_millis(1))
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let report = ok_report();
+        assert_eq!(check_spec(&report), Vec::new());
+    }
+
+    #[test]
+    fn detects_border_termination_violation() {
+        let mut report = ok_report();
+        report.decisions.remove(&NodeId(2));
+        let violations = check_spec(&report);
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::BorderTermination { missing, .. } if *missing == NodeId(2))
+        ));
+    }
+
+    #[test]
+    fn detects_disagreement() {
+        let mut report = ok_report();
+        report.decisions.get_mut(&NodeId(2)).unwrap().value = NodeId(2);
+        let violations = check_spec(&report);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::UniformBorderAgreement { .. })));
+    }
+
+    #[test]
+    fn detects_overlap() {
+        // Forge a second decider with a partially overlapping view.
+        let mut report = Scenario::builder(path(5))
+            .crash(NodeId(1), SimTime::from_millis(1))
+            .crash(NodeId(2), SimTime::from_millis(1))
+            .build()
+            .run();
+        // n0 and n3 decided {1,2}. Replace n3's view with {2,3}: overlap.
+        let forged_region: Region = [NodeId(2), NodeId(3)].into_iter().collect();
+        let forged = View::new(report.graph.as_ref(), forged_region);
+        let d3 = report.decisions.get_mut(&NodeId(3)).unwrap();
+        d3.view = forged;
+        let violations = check_spec(&report);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ViewConvergence { .. })));
+    }
+
+    #[test]
+    fn detects_view_accuracy_violations() {
+        let mut report = ok_report();
+        // n0 claims a view containing the live node 2.
+        let bogus_region: Region = [NodeId(2)].into_iter().collect();
+        let bogus = View::new(report.graph.as_ref(), bogus_region);
+        report.decisions.get_mut(&NodeId(0)).unwrap().view = bogus;
+        let violations = check_spec(&report);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ViewAccuracyNotCrashed { member, .. } if *member == NodeId(2))));
+        // n0 is not on border({2}) either ({1,3} is, 1 crashed).
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ViewAccuracyBorder { .. })));
+    }
+
+    #[test]
+    fn detects_progress_violation() {
+        let mut report = ok_report();
+        report.decisions.clear();
+        let violations = check_spec(&report);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Progress { .. })));
+    }
+
+    #[test]
+    fn detects_locality_violation() {
+        // In path(3) with {1} crashed, 0 -> 2 is allowed, so forge an
+        // out-of-closure message on a bigger graph.
+        let mut big = Scenario::builder(path(6))
+            .crash(NodeId(1), SimTime::from_millis(1))
+            .build()
+            .run();
+        assert!(check_spec(&big).is_empty(), "clean before forgery");
+        big.message_pairs
+            .as_mut()
+            .unwrap()
+            .push((NodeId(4), NodeId(5)));
+        let violations = check_spec(&big);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Locality { from, to } if *from == NodeId(4) && *to == NodeId(5))));
+    }
+
+    #[test]
+    fn violations_render() {
+        let v = Violation::Locality {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert!(v.to_string().contains("CD3"));
+        let v = Violation::NonQuiescent;
+        assert!(v.to_string().contains("quiescence"));
+    }
+}

@@ -1,0 +1,143 @@
+use std::collections::BTreeSet;
+
+use precipice_graph::{connected_components, Graph, NodeId, Region};
+
+/// The faulty domains of a run: the maximal crashed regions, i.e. the
+/// connected components of the faulty node set (paper §2.2 — "a region in
+/// which all nodes are faulty, but whose border nodes are correct";
+/// maximality of components gives the correct-border part for free).
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{path, NodeId};
+/// use precipice_runtime::faulty_domains;
+/// use std::collections::BTreeSet;
+///
+/// let g = path(5);
+/// let faulty: BTreeSet<_> = [NodeId(1), NodeId(3)].into();
+/// let domains = faulty_domains(&g, &faulty);
+/// assert_eq!(domains.len(), 2);
+/// ```
+pub fn faulty_domains(graph: &Graph, faulty: &BTreeSet<NodeId>) -> Vec<Region> {
+    connected_components(graph, faulty)
+}
+
+/// Groups faulty domains into *faulty clusters*: the equivalence classes
+/// of the transitive closure of border-adjacency (`F ‖ H` iff
+/// `border(F) ∩ border(H) ≠ ∅`, paper §2.2 and Fig. 2).
+///
+/// Returns the clusters as lists of indices into `domains`.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{path, NodeId};
+/// use precipice_runtime::{faulty_clusters, faulty_domains};
+/// use std::collections::BTreeSet;
+///
+/// // 0-1-2-3-4: domains {1} and {3} share border node 2 -> one cluster.
+/// let g = path(5);
+/// let faulty: BTreeSet<_> = [NodeId(1), NodeId(3)].into();
+/// let domains = faulty_domains(&g, &faulty);
+/// let clusters = faulty_clusters(&g, &domains);
+/// assert_eq!(clusters, vec![vec![0, 1]]);
+/// ```
+pub fn faulty_clusters(graph: &Graph, domains: &[Region]) -> Vec<Vec<usize>> {
+    let borders: Vec<BTreeSet<NodeId>> = domains
+        .iter()
+        .map(|d| graph.border_of(d.iter()).into_iter().collect())
+        .collect();
+    let n = domains.len();
+    let mut assigned = vec![usize::MAX; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if assigned[start] != usize::MAX {
+            continue;
+        }
+        let cluster_id = clusters.len();
+        let mut members = Vec::new();
+        let mut frontier = vec![start];
+        assigned[start] = cluster_id;
+        while let Some(i) = frontier.pop() {
+            members.push(i);
+            for j in 0..n {
+                if assigned[j] == usize::MAX && !borders[i].is_disjoint(&borders[j]) {
+                    assigned[j] = cluster_id;
+                    frontier.push(j);
+                }
+            }
+        }
+        members.sort_unstable();
+        clusters.push(members);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::{grid, path, GridDims};
+
+    fn set(ids: &[u32]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn domains_are_maximal_components() {
+        let g = path(7);
+        let faulty = set(&[1, 2, 4]);
+        let domains = faulty_domains(&g, &faulty);
+        assert_eq!(domains.len(), 2);
+        assert_eq!(domains[0], Region::from_iter([NodeId(1), NodeId(2)]));
+        assert_eq!(domains[1], Region::from_iter([NodeId(4)]));
+    }
+
+    #[test]
+    fn adjacent_domains_cluster_together() {
+        // 0-1-2-3-4-5-6: {1,2} and {4} share border node 3.
+        let g = path(7);
+        let domains = faulty_domains(&g, &set(&[1, 2, 4]));
+        let clusters = faulty_clusters(&g, &domains);
+        assert_eq!(clusters, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn distant_domains_stay_separate() {
+        let g = path(9);
+        let domains = faulty_domains(&g, &set(&[1, 6]));
+        // border({1}) = {0,2}, border({6}) = {5,7}: disjoint.
+        let clusters = faulty_clusters(&g, &domains);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_adjacency_is_transitive() {
+        // Figure 2's shape: domains pairwise chained through shared
+        // border nodes must land in one cluster even when the extremes
+        // share nothing.
+        let g = path(11);
+        // Domains {1}, {3}, {5}, {7}, {9}: consecutive ones share a
+        // border node (2, 4, 6, 8).
+        let domains = faulty_domains(&g, &set(&[1, 3, 5, 7, 9]));
+        assert_eq!(domains.len(), 5);
+        let clusters = faulty_clusters(&g, &domains);
+        assert_eq!(clusters, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn grid_blob_is_single_domain() {
+        let g = grid(GridDims::square(4));
+        let domains = faulty_domains(&g, &set(&[5, 6, 9]));
+        assert_eq!(domains.len(), 1);
+        let clusters = faulty_clusters(&g, &domains);
+        assert_eq!(clusters, vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_faulty_set() {
+        let g = path(3);
+        assert!(faulty_domains(&g, &BTreeSet::new()).is_empty());
+        assert!(faulty_clusters(&g, &[]).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use precipice_core::{ProtocolStats, View};
+use precipice_graph::{Graph, NodeId};
+use precipice_sim::{Metrics, RunOutcome, SimTime};
+
+/// One node's decision: the agreed view, value and virtual decision time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision<D> {
+    /// The agreed crashed region (with its border).
+    pub view: View,
+    /// The agreed decision value.
+    pub value: D,
+    /// Virtual time at which the node decided.
+    pub at: SimTime,
+}
+
+/// Everything observable about one simulated protocol run.
+///
+/// Produced by [`Scenario::run`](crate::Scenario::run); consumed by
+/// [`check_spec`](crate::check_spec) and by the experiment harness.
+#[derive(Debug, Clone)]
+pub struct RunReport<D> {
+    /// The knowledge graph the run executed on.
+    pub graph: Arc<Graph>,
+    /// Crash times of every faulty node.
+    pub crashed: BTreeMap<NodeId, SimTime>,
+    /// Decisions, per deciding node.
+    pub decisions: BTreeMap<NodeId, Decision<D>>,
+    /// Transport-level accounting.
+    pub metrics: Metrics,
+    /// Protocol-level counters per node.
+    pub stats: BTreeMap<NodeId, ProtocolStats>,
+    /// Directed `(from, to)` pairs of every protocol message sent, when
+    /// trace recording was enabled (used by the CD3 locality check).
+    pub message_pairs: Option<Vec<(NodeId, NodeId)>>,
+    /// Hash of the full event trace (determinism fingerprint).
+    pub trace_hash: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl<D: Debug> RunReport<D> {
+    /// Nodes that never crashed.
+    pub fn correct_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph
+            .nodes()
+            .filter(move |n| !self.crashed.contains_key(n))
+    }
+
+    /// `true` if `node` crashed during the run.
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.crashed.contains_key(&node)
+    }
+
+    /// Total messages sent by the protocol during the run.
+    pub fn total_messages(&self) -> u64 {
+        self.metrics.messages_sent()
+    }
+
+    /// Virtual time of the last decision, if any node decided.
+    pub fn last_decision_at(&self) -> Option<SimTime> {
+        self.decisions.values().map(|d| d.at).max()
+    }
+
+    /// The distinct decided regions, deduplicated.
+    pub fn decided_regions(&self) -> Vec<precipice_graph::Region> {
+        let mut regions: Vec<_> = self
+            .decisions
+            .values()
+            .map(|d| d.view.region().clone())
+            .collect();
+        regions.sort();
+        regions.dedup();
+        regions
+    }
+}

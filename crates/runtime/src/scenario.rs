@@ -1,0 +1,283 @@
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use precipice_core::{CliffEdgeNode, DecisionPolicy, NodeIdValuePolicy, ProtocolConfig};
+use precipice_graph::{Graph, NodeId};
+use precipice_sim::{SimConfig, SimTime, Simulation, TraceEntry};
+
+use crate::adapter::{MulticastMode, ProtocolProcess};
+use crate::report::{Decision, RunReport};
+
+/// A sealed, reproducible experiment description: topology, crash
+/// schedule, network/latency configuration and protocol configuration.
+///
+/// Build with [`Scenario::builder`]; execute with [`Scenario::run`] (or
+/// [`run_with_policy`](Scenario::run_with_policy) for a custom decision
+/// policy). Two runs of an identical scenario produce bit-identical
+/// reports (same trace hash).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable label (used by experiment tables).
+    pub name: String,
+    /// The knowledge graph.
+    pub graph: Arc<Graph>,
+    /// Crash schedule: `(node, time)` pairs.
+    pub crashes: Vec<(NodeId, SimTime)>,
+    /// Simulator configuration (latencies, seed, tracing).
+    pub sim: SimConfig,
+    /// Protocol configuration (optimization flags).
+    pub protocol: ProtocolConfig,
+    /// How multicasts are realized (atomic loop, or the paper's
+    /// crash-interruptible sequential loop).
+    pub multicast: MulticastMode,
+}
+
+impl Scenario {
+    /// Starts building a scenario on `graph`.
+    pub fn builder(graph: Graph) -> ScenarioBuilder {
+        ScenarioBuilder::new(graph)
+    }
+
+    /// Runs the scenario with the default [`NodeIdValuePolicy`]
+    /// (border-coordinator election).
+    pub fn run(&self) -> RunReport<NodeId> {
+        self.run_with_policy(|_me| NodeIdValuePolicy)
+    }
+
+    /// Runs the scenario, constructing each node's decision policy with
+    /// `make_policy`.
+    pub fn run_with_policy<P, F>(&self, mut make_policy: F) -> RunReport<P::Value>
+    where
+        P: DecisionPolicy,
+        F: FnMut(NodeId) -> P,
+    {
+        let processes: Vec<ProtocolProcess<P>> = self
+            .graph
+            .nodes()
+            .map(|me| {
+                ProtocolProcess::with_multicast_mode(
+                    CliffEdgeNode::new(me, Arc::clone(&self.graph), make_policy(me), self.protocol),
+                    self.multicast,
+                )
+            })
+            .collect();
+        let mut sim = Simulation::new(self.sim, processes);
+        for &(node, at) in &self.crashes {
+            sim.schedule_crash(node, at);
+        }
+        let outcome = sim.run();
+
+        let crashed: BTreeMap<NodeId, SimTime> = self
+            .crashes
+            .iter()
+            .map(|&(n, t)| (n, t))
+            // Keep the earliest time if a node is scheduled twice.
+            .fold(BTreeMap::new(), |mut m, (n, t)| {
+                m.entry(n).and_modify(|e| *e = (*e).min(t)).or_insert(t);
+                m
+            });
+
+        let mut decisions = BTreeMap::new();
+        let mut stats = BTreeMap::new();
+        for (id, proc) in sim.processes() {
+            stats.insert(id, *proc.node().stats());
+            if let Some((view, value, at)) = proc.decision() {
+                decisions.insert(
+                    id,
+                    Decision {
+                        view: view.clone(),
+                        value: value.clone(),
+                        at: *at,
+                    },
+                );
+            }
+        }
+
+        let message_pairs = sim.trace().entries().map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| match *e {
+                    TraceEntry::Send { from, to, .. } => Some((from, to)),
+                    _ => None,
+                })
+                .collect()
+        });
+
+        RunReport {
+            graph: Arc::clone(&self.graph),
+            crashed,
+            decisions,
+            metrics: sim.metrics().clone(),
+            stats,
+            message_pairs,
+            trace_hash: sim.trace().hash(),
+            outcome,
+        }
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    graph: Arc<Graph>,
+    crashes: Vec<(NodeId, SimTime)>,
+    sim: SimConfig,
+    protocol: ProtocolConfig,
+    multicast: MulticastMode,
+}
+
+impl ScenarioBuilder {
+    fn new(graph: Graph) -> Self {
+        ScenarioBuilder {
+            name: "unnamed".to_owned(),
+            graph: Arc::new(graph),
+            crashes: Vec::new(),
+            // Record traces by default: scenarios are the unit of
+            // correctness checking. Benches override for speed.
+            sim: SimConfig::default().with_trace(),
+            protocol: ProtocolConfig::default(),
+            multicast: MulticastMode::Atomic,
+        }
+    }
+
+    /// Names the scenario.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Schedules `node` to crash at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the graph.
+    pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
+        assert!(
+            self.graph.contains(node),
+            "crash target {node} not in graph"
+        );
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Schedules a batch of crashes.
+    pub fn crashes<I: IntoIterator<Item = (NodeId, SimTime)>>(mut self, crashes: I) -> Self {
+        for (node, at) in crashes {
+            self = self.crash(node, at);
+        }
+        self
+    }
+
+    /// Sets the random seed (latency sampling).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Replaces the whole simulator configuration.
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the protocol configuration.
+    pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the multicast realization (see [`MulticastMode`]).
+    pub fn multicast(mut self, multicast: MulticastMode) -> Self {
+        self.multicast = multicast;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            name: self.name,
+            graph: self.graph,
+            crashes: self.crashes,
+            sim: self.sim,
+            protocol: self.protocol,
+            multicast: self.multicast,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::path;
+
+    #[test]
+    fn path_scenario_decides() {
+        let scenario = Scenario::builder(path(3))
+            .name("path3")
+            .crash(NodeId(1), SimTime::from_millis(1))
+            .build();
+        let report = scenario.run();
+        assert!(report.outcome.is_quiescent());
+        assert_eq!(report.decisions.len(), 2);
+        let d0 = &report.decisions[&NodeId(0)];
+        let d2 = &report.decisions[&NodeId(2)];
+        assert_eq!(d0.view, d2.view);
+        assert_eq!(d0.value, d2.value);
+        assert_eq!(d0.value, NodeId(0));
+    }
+
+    #[test]
+    fn same_scenario_same_trace_hash() {
+        use precipice_sim::{LatencyModel, SimConfig};
+        let build = || {
+            // Jittery latencies so the seed actually shapes the schedule.
+            let sim = SimConfig {
+                latency: LatencyModel::lan_like(),
+                fd_latency: LatencyModel::Uniform {
+                    min: SimTime::from_millis(1),
+                    max: SimTime::from_millis(20),
+                },
+                ..SimConfig::default().with_trace()
+            };
+            Scenario::builder(precipice_graph::ring(8))
+                .crash(NodeId(2), SimTime::from_millis(1))
+                .crash(NodeId(3), SimTime::from_millis(4))
+                .sim_config(sim)
+                .seed(7)
+                .build()
+        };
+        let r1 = build().run();
+        let r2 = build().run();
+        assert_eq!(r1.trace_hash, r2.trace_hash);
+        assert_eq!(r1.metrics.messages_sent(), r2.metrics.messages_sent());
+        let r3 = {
+            let mut s = build();
+            s.sim.seed = 8;
+            s.run()
+        };
+        assert_ne!(r1.trace_hash, r3.trace_hash);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let scenario = Scenario::builder(path(4))
+            .crash(NodeId(1), SimTime::from_millis(1))
+            .crash(NodeId(2), SimTime::from_millis(2))
+            .build();
+        let report = scenario.run();
+        assert!(report.is_faulty(NodeId(1)));
+        assert!(!report.is_faulty(NodeId(0)));
+        assert_eq!(report.correct_nodes().count(), 2);
+        assert!(report.total_messages() > 0);
+        assert!(report.last_decision_at().is_some());
+        assert_eq!(report.decided_regions().len(), 1);
+        assert!(report.message_pairs.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn crash_target_must_exist() {
+        let _ = Scenario::builder(path(2)).crash(NodeId(9), SimTime::ZERO);
+    }
+}

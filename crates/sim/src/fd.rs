@@ -1,0 +1,127 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use precipice_graph::NodeId;
+
+/// State of the perfect failure detector service (paper §3.1).
+///
+/// The detector is *subscription-based*: node `p` asks to be notified of
+/// the crash of `q` (`⟨monitorCrash | {q}⟩`); when `q` crashes, every
+/// subscriber eventually receives exactly one `⟨crash | q⟩` notification.
+/// Subscribing to an already-crashed node triggers an immediate (delayed
+/// by the detection latency) notification — required for strong
+/// completeness when detection races with subscription.
+///
+/// The detector is trivially *perfect* in the simulator because it is
+/// driven by the authoritative crash schedule: it never suspects a live
+/// node (strong accuracy) and never misses a crashed one (strong
+/// completeness).
+///
+/// This type only tracks subscription/notification state; scheduling the
+/// notification events is the [`Simulation`](crate::Simulation)'s job.
+#[derive(Debug, Clone, Default)]
+pub struct FailureDetector {
+    /// target -> set of subscribed observers not yet notified.
+    subscribers: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// (observer, target) pairs already notified or with a notification
+    /// in flight — guards the exactly-once contract.
+    notified: BTreeSet<(NodeId, NodeId)>,
+    /// Crashed nodes, in authoritative order.
+    crashed: BTreeSet<NodeId>,
+}
+
+impl FailureDetector {
+    /// A detector with no subscriptions and no crashes.
+    pub fn new() -> Self {
+        FailureDetector::default()
+    }
+
+    /// `true` if `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// The set of crashed nodes.
+    pub fn crashed(&self) -> &BTreeSet<NodeId> {
+        &self.crashed
+    }
+
+    /// Records that `observer` monitors `target`.
+    ///
+    /// Returns `true` if a notification must be scheduled *now* because
+    /// `target` already crashed (and `observer` was not yet notified).
+    #[must_use]
+    pub fn subscribe(&mut self, observer: NodeId, target: NodeId) -> bool {
+        if self.notified.contains(&(observer, target)) {
+            return false;
+        }
+        if self.crashed.contains(&target) {
+            self.notified.insert((observer, target));
+            return true;
+        }
+        self.subscribers.entry(target).or_default().insert(observer);
+        false
+    }
+
+    /// Records the crash of `node` and returns the observers that must be
+    /// notified (each at most once, ever).
+    pub fn record_crash(&mut self, node: NodeId) -> Vec<NodeId> {
+        let newly = self.crashed.insert(node);
+        debug_assert!(newly, "node {node} crashed twice");
+        let observers = self.subscribers.remove(&node).unwrap_or_default();
+        let mut to_notify = Vec::new();
+        for obs in observers {
+            if self.notified.insert((obs, node)) {
+                to_notify.push(obs);
+            }
+        }
+        to_notify
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_then_crash_notifies_once() {
+        let mut fd = FailureDetector::new();
+        assert!(!fd.subscribe(NodeId(1), NodeId(9)));
+        assert!(!fd.subscribe(NodeId(2), NodeId(9)));
+        // Duplicate subscription is idempotent.
+        assert!(!fd.subscribe(NodeId(1), NodeId(9)));
+        let notified = fd.record_crash(NodeId(9));
+        assert_eq!(notified, vec![NodeId(1), NodeId(2)]);
+        // Re-subscribing after notification stays silent.
+        assert!(!fd.subscribe(NodeId(1), NodeId(9)));
+    }
+
+    #[test]
+    fn subscribe_after_crash_fires_immediately() {
+        let mut fd = FailureDetector::new();
+        assert!(fd.record_crash(NodeId(4)).is_empty());
+        assert!(fd.subscribe(NodeId(0), NodeId(4)));
+        // Exactly once.
+        assert!(!fd.subscribe(NodeId(0), NodeId(4)));
+        assert!(fd.is_crashed(NodeId(4)));
+        assert!(!fd.is_crashed(NodeId(0)));
+    }
+
+    #[test]
+    fn unsubscribed_observers_not_notified() {
+        let mut fd = FailureDetector::new();
+        assert!(!fd.subscribe(NodeId(1), NodeId(5)));
+        let notified = fd.record_crash(NodeId(6));
+        assert!(notified.is_empty(), "nobody subscribed to n6");
+    }
+
+    #[test]
+    fn crashed_set_tracks_all_crashes() {
+        let mut fd = FailureDetector::new();
+        fd.record_crash(NodeId(1));
+        fd.record_crash(NodeId(3));
+        assert_eq!(
+            fd.crashed().iter().copied().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(3)]
+        );
+    }
+}

@@ -1,0 +1,137 @@
+use std::fmt::Debug;
+
+use precipice_graph::NodeId;
+
+use crate::SimTime;
+
+/// Size estimation for simulated messages, used for byte accounting.
+///
+/// Implementations should return the approximate wire size of the message
+/// under a reasonable binary encoding; the experiments compare protocols
+/// by *relative* byte volume, so a consistent estimate matters more than
+/// an exact one.
+pub trait MessageSize {
+    /// Approximate encoded size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+impl MessageSize for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A node program run by the [`Simulation`](crate::Simulation).
+///
+/// This mirrors the paper's mono-threaded event-based programming model
+/// (§2.3): a process reacts to activation, message deliveries
+/// (`⟨mDeliver⟩`), and crash notifications (`⟨crash | q⟩`), and may emit
+/// sends and failure-detector subscriptions through the [`Context`].
+///
+/// Handlers run atomically at a virtual instant; the simulator never
+/// interleaves two handlers of the same process.
+pub trait Process {
+    /// Message type exchanged between processes of this program.
+    type Msg: Clone + Debug + MessageSize;
+
+    /// Called once at time zero, before any other event (the paper's
+    /// `⟨init⟩`).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when the failure detector reports that a *monitored* node
+    /// has crashed (the paper's `⟨crash | q⟩` with strong accuracy:
+    /// only subscribed crashes are reported, and only real ones).
+    fn on_crash_notification(&mut self, crashed: NodeId, ctx: &mut Context<'_, Self::Msg>);
+}
+
+/// An output effect requested by a process handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command<M> {
+    /// Send `msg` to `to` over the reliable FIFO channel.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Subscribe to the crash of `target` (the paper's
+    /// `⟨monitorCrash | {target}⟩`). Idempotent.
+    Monitor {
+        /// Node whose crash should be reported.
+        target: NodeId,
+    },
+}
+
+/// Handler-side view of the simulator: lets a [`Process`] read its
+/// identity and the clock, and queue output [`Command`]s.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    me: NodeId,
+    now: SimTime,
+    commands: &'a mut Vec<Command<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(me: NodeId, now: SimTime, commands: &'a mut Vec<Command<M>>) -> Self {
+        Context { me, now, commands }
+    }
+
+    /// The id of the process whose handler is running.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues a message send. Sending to oneself is allowed and goes
+    /// through the normal (FIFO, delayed) channel like any other message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.commands.push(Command::Send { to, msg });
+    }
+
+    /// Queues a failure-detector subscription for `target`.
+    pub fn monitor(&mut self, target: NodeId) {
+        self.commands.push(Command::Monitor { target });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_commands_in_order() {
+        let mut cmds = Vec::new();
+        let mut ctx: Context<'_, u8> = Context::new(NodeId(3), SimTime::from_millis(5), &mut cmds);
+        assert_eq!(ctx.me(), NodeId(3));
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        ctx.send(NodeId(1), 9);
+        ctx.monitor(NodeId(2));
+        ctx.send(NodeId(3), 7);
+        assert_eq!(
+            cmds,
+            vec![
+                Command::Send {
+                    to: NodeId(1),
+                    msg: 9
+                },
+                Command::Monitor { target: NodeId(2) },
+                Command::Send {
+                    to: NodeId(3),
+                    msg: 7
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn unit_message_has_zero_size() {
+        assert_eq!(().size_bytes(), 0);
+    }
+}

@@ -1,0 +1,672 @@
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use precipice_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::process::{Command, Context, MessageSize, Process};
+use crate::trace::{Trace, TraceEntry};
+use crate::{FailureDetector, LatencyModel, Metrics, SimTime};
+
+/// Configuration of a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Seed for all randomness (latency sampling). Two runs with the same
+    /// processes, config and crash schedule are bit-identical.
+    pub seed: u64,
+    /// Message latency distribution.
+    pub latency: LatencyModel,
+    /// Failure-detector detection latency distribution.
+    pub fd_latency: LatencyModel,
+    /// Store full [`Trace`] entries (the running hash is kept either way).
+    pub record_trace: bool,
+    /// Hard cap on processed events; `None` runs to quiescence.
+    pub max_events: Option<u64>,
+}
+
+impl Default for SimConfig {
+    /// 1ms constant message latency, 5ms constant detection latency,
+    /// no stored trace, no event cap, seed 0.
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: LatencyModel::default(),
+            fd_latency: LatencyModel::Constant(SimTime::from_millis(5)),
+            record_trace: false,
+            max_events: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns this config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns this config with trace storage enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// How a [`Simulation::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: nothing can ever happen again.
+    Quiescent {
+        /// Events processed in total.
+        events: u64,
+        /// Virtual time of the last event.
+        at: SimTime,
+    },
+    /// The configured `max_events` cap was hit (likely a livelock bug).
+    LimitReached {
+        /// Events processed in total.
+        events: u64,
+        /// Virtual time when the cap was hit.
+        at: SimTime,
+    },
+}
+
+impl RunOutcome {
+    /// `true` if the run drained to quiescence.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, RunOutcome::Quiescent { .. })
+    }
+
+    /// Events processed.
+    pub fn events(&self) -> u64 {
+        match *self {
+            RunOutcome::Quiescent { events, .. } | RunOutcome::LimitReached { events, .. } => {
+                events
+            }
+        }
+    }
+}
+
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Notify { to: NodeId, crashed: NodeId },
+    Crash { node: NodeId },
+}
+
+struct Entry<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    // Reversed: BinaryHeap is a max-heap, we need the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic discrete-event simulator over a set of [`Process`]es.
+///
+/// Nodes are identified by their index in the process vector. See the
+/// [crate docs](crate) for an end-to-end example.
+pub struct Simulation<P: Process> {
+    config: SimConfig,
+    processes: Vec<P>,
+    crashed: Vec<bool>,
+    queue: BinaryHeap<Entry<P::Msg>>,
+    /// Last scheduled delivery time per directed channel; clamping new
+    /// deliveries to it keeps channels FIFO under jittery latency.
+    fifo_last: HashMap<(NodeId, NodeId), SimTime>,
+    fd: FailureDetector,
+    metrics: Metrics,
+    trace: Trace,
+    rng: StdRng,
+    time: SimTime,
+    seq: u64,
+    started: bool,
+    events_processed: u64,
+    command_buf: Vec<Command<P::Msg>>,
+}
+
+impl<P: Process> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.processes.len())
+            .field("time", &self.time)
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<P: Process> Simulation<P> {
+    /// Creates a simulation over `processes`; the process at index `i`
+    /// is node `NodeId(i)`.
+    pub fn new(config: SimConfig, processes: Vec<P>) -> Self {
+        let n = processes.len();
+        Simulation {
+            rng: StdRng::seed_from_u64(config.seed),
+            trace: Trace::new(config.record_trace),
+            config,
+            crashed: vec![false; n],
+            processes,
+            queue: BinaryHeap::new(),
+            fifo_last: HashMap::new(),
+            fd: FailureDetector::new(),
+            metrics: Metrics::default(),
+            time: SimTime::ZERO,
+            seq: 0,
+            started: false,
+            events_processed: 0,
+            command_buf: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// `true` if the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Schedules `node` to crash at time `at`.
+    ///
+    /// Crashing an already-crashed node is a no-op at processing time.
+    /// Must be called before the crash time is reached; scheduling in the
+    /// past (relative to [`now`](Self::now)) panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `at` is in the past.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        assert!(node.index() < self.processes.len(), "no such node {node}");
+        assert!(at >= self.time, "cannot schedule a crash in the past");
+        self.push(at, EventKind::Crash { node });
+    }
+
+    /// Runs until quiescence or until the configured event cap.
+    pub fn run(&mut self) -> RunOutcome {
+        self.start_if_needed();
+        while let Some(entry) = self.queue.pop() {
+            if let Some(cap) = self.config.max_events {
+                if self.events_processed >= cap {
+                    // Put the event back so a later `run` could resume.
+                    self.queue.push(entry);
+                    self.metrics.set_finished_at(self.time);
+                    return RunOutcome::LimitReached {
+                        events: self.events_processed,
+                        at: self.time,
+                    };
+                }
+            }
+            self.events_processed += 1;
+            debug_assert!(entry.at >= self.time, "time went backwards");
+            self.time = entry.at;
+            self.dispatch(entry.kind);
+        }
+        self.metrics.set_finished_at(self.time);
+        RunOutcome::Quiescent {
+            events: self.events_processed,
+            at: self.time,
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.processes.len() {
+            let me = NodeId::from_index(i);
+            self.metrics.record_activation(me);
+            let mut cmds = std::mem::take(&mut self.command_buf);
+            {
+                let mut ctx = Context::new(me, self.time, &mut cmds);
+                self.processes[i].on_start(&mut ctx);
+            }
+            self.execute_commands(me, &mut cmds);
+            self.command_buf = cmds;
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P::Msg>) {
+        match kind {
+            EventKind::Crash { node } => {
+                if self.crashed[node.index()] {
+                    return;
+                }
+                self.crashed[node.index()] = true;
+                self.trace.record(TraceEntry::Crash {
+                    at: self.time,
+                    node,
+                });
+                for observer in self.fd.record_crash(node) {
+                    self.schedule_notify(observer, node);
+                }
+            }
+            EventKind::Deliver { to, from, msg } => {
+                if self.crashed[to.index()] {
+                    self.metrics.record_drop();
+                    return;
+                }
+                self.metrics.record_delivery(to);
+                self.metrics.record_activation(to);
+                self.trace.record(TraceEntry::Deliver {
+                    at: self.time,
+                    from,
+                    to,
+                });
+                let mut cmds = std::mem::take(&mut self.command_buf);
+                {
+                    let mut ctx = Context::new(to, self.time, &mut cmds);
+                    self.processes[to.index()].on_message(from, msg, &mut ctx);
+                }
+                self.execute_commands(to, &mut cmds);
+                self.command_buf = cmds;
+            }
+            EventKind::Notify { to, crashed } => {
+                if self.crashed[to.index()] {
+                    return;
+                }
+                self.metrics.record_crash_notification();
+                self.metrics.record_activation(to);
+                self.trace.record(TraceEntry::Notify {
+                    at: self.time,
+                    observer: to,
+                    crashed,
+                });
+                let mut cmds = std::mem::take(&mut self.command_buf);
+                {
+                    let mut ctx = Context::new(to, self.time, &mut cmds);
+                    self.processes[to.index()].on_crash_notification(crashed, &mut ctx);
+                }
+                self.execute_commands(to, &mut cmds);
+                self.command_buf = cmds;
+            }
+        }
+    }
+
+    fn execute_commands(&mut self, me: NodeId, cmds: &mut Vec<Command<P::Msg>>) {
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Send { to, msg } => {
+                    assert!(
+                        to.index() < self.processes.len(),
+                        "send to unknown node {to}"
+                    );
+                    self.metrics.record_send(me, msg.size_bytes());
+                    self.trace.record(TraceEntry::Send {
+                        at: self.time,
+                        from: me,
+                        to,
+                    });
+                    let latency = self.config.latency.sample(&mut self.rng);
+                    let slot = self.fifo_last.entry((me, to)).or_insert(SimTime::ZERO);
+                    let at = (self.time + latency).max(*slot);
+                    *slot = at;
+                    self.push(at, EventKind::Deliver { to, from: me, msg });
+                }
+                Command::Monitor { target } => {
+                    if self.fd.subscribe(me, target) {
+                        self.schedule_notify(me, target);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_notify(&mut self, observer: NodeId, crashed: NodeId) {
+        let latency = self.config.fd_latency.sample(&mut self.rng);
+        let at = self.time + latency;
+        self.push(
+            at,
+            EventKind::Notify {
+                to: observer,
+                crashed,
+            },
+        );
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, kind });
+    }
+
+    /// `true` if `node` has crashed (per the authoritative schedule, as of
+    /// virtual now).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Node ids that never crashed.
+    pub fn correct_nodes(&self) -> Vec<NodeId> {
+        (0..self.processes.len())
+            .filter(|&i| !self.crashed[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Immutable access to a node's process (e.g. to read decisions after
+    /// the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn process(&self, node: NodeId) -> &P {
+        &self.processes[node.index()]
+    }
+
+    /// Iterates `(id, process)` pairs.
+    pub fn processes(&self) -> impl Iterator<Item = (NodeId, &P)> + '_ {
+        self.processes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (NodeId::from_index(i), p))
+    }
+
+    /// Consumes the simulation, returning the processes.
+    pub fn into_processes(self) -> Vec<P> {
+        self.processes
+    }
+
+    /// Accounting for the run so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Trace of the run so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The failure detector's authoritative state.
+    pub fn failure_detector(&self) -> &FailureDetector {
+        &self.fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Blob(Vec<u8>);
+    impl MessageSize for Blob {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    /// Test process: records every delivery and notification with its
+    /// virtual timestamp; can be told to echo or to flood on start.
+    struct Recorder {
+        sends_on_start: Vec<(NodeId, Blob)>,
+        monitors_on_start: Vec<NodeId>,
+        received: Vec<(SimTime, NodeId, Vec<u8>)>,
+        notified: Vec<(SimTime, NodeId)>,
+    }
+
+    impl Recorder {
+        fn quiet() -> Self {
+            Recorder {
+                sends_on_start: vec![],
+                monitors_on_start: vec![],
+                received: vec![],
+                notified: vec![],
+            }
+        }
+    }
+
+    impl Process for Recorder {
+        type Msg = Blob;
+        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            for (to, msg) in self.sends_on_start.clone() {
+                ctx.send(to, msg);
+            }
+            for t in self.monitors_on_start.clone() {
+                ctx.monitor(t);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Blob, ctx: &mut Context<'_, Blob>) {
+            self.received.push((ctx.now(), from, msg.0));
+        }
+        fn on_crash_notification(&mut self, crashed: NodeId, ctx: &mut Context<'_, Blob>) {
+            self.notified.push((ctx.now(), crashed));
+        }
+    }
+
+    fn jittery_config(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            latency: LatencyModel::Uniform {
+                min: SimTime::from_micros(100),
+                max: SimTime::from_millis(20),
+            },
+            fd_latency: LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(8),
+            },
+            record_trace: true,
+            max_events: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_under_jitter() {
+        let mut sender = Recorder::quiet();
+        sender.sends_on_start = (0..50u8).map(|i| (NodeId(1), Blob(vec![i]))).collect();
+        let mut sim = Simulation::new(jittery_config(99), vec![sender, Recorder::quiet()]);
+        assert!(sim.run().is_quiescent());
+        let received: Vec<u8> = sim
+            .process(NodeId(1))
+            .received
+            .iter()
+            .map(|(_, _, m)| m[0])
+            .collect();
+        assert_eq!(received, (0..50u8).collect::<Vec<_>>(), "FIFO violated");
+        // Delivery timestamps must be non-decreasing.
+        let times: Vec<SimTime> = sim
+            .process(NodeId(1))
+            .received
+            .iter()
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn same_seed_same_trace_hash() {
+        let build = || {
+            let mut a = Recorder::quiet();
+            a.sends_on_start = (0..20u8).map(|i| (NodeId(1), Blob(vec![i]))).collect();
+            let mut b = Recorder::quiet();
+            b.sends_on_start = (0..20u8).map(|i| (NodeId(0), Blob(vec![i]))).collect();
+            vec![a, b]
+        };
+        let mut s1 = Simulation::new(jittery_config(7), build());
+        let mut s2 = Simulation::new(jittery_config(7), build());
+        s1.run();
+        s2.run();
+        assert_eq!(s1.trace().hash(), s2.trace().hash());
+        assert_eq!(s1.metrics().messages_sent(), s2.metrics().messages_sent());
+
+        let mut s3 = Simulation::new(jittery_config(8), build());
+        s3.run();
+        assert_ne!(
+            s1.trace().hash(),
+            s3.trace().hash(),
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn crash_notification_reaches_subscribers() {
+        let mut obs = Recorder::quiet();
+        obs.monitors_on_start = vec![NodeId(1)];
+        let mut sim = Simulation::new(SimConfig::default(), vec![obs, Recorder::quiet()]);
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(3));
+        assert!(sim.run().is_quiescent());
+        let notified = &sim.process(NodeId(0)).notified;
+        assert_eq!(notified.len(), 1);
+        assert_eq!(notified[0].1, NodeId(1));
+        // Detection latency (5ms default) after the crash instant.
+        assert_eq!(notified[0].0, SimTime::from_millis(8));
+        assert!(sim.is_crashed(NodeId(1)));
+        assert_eq!(sim.correct_nodes(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn subscribing_to_already_crashed_node_notifies() {
+        // Node 0 sends to itself; upon that message it monitors node 1,
+        // which crashed long before.
+        struct LateMonitor {
+            notified: Vec<NodeId>,
+        }
+        impl Process for LateMonitor {
+            type Msg = Blob;
+            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(0), Blob(vec![]));
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: Blob, ctx: &mut Context<'_, Blob>) {
+                ctx.monitor(NodeId(1));
+            }
+            fn on_crash_notification(&mut self, crashed: NodeId, _: &mut Context<'_, Blob>) {
+                self.notified.push(crashed);
+            }
+        }
+        let mut sim = Simulation::new(
+            SimConfig::default(),
+            vec![
+                LateMonitor { notified: vec![] },
+                LateMonitor { notified: vec![] },
+            ],
+        );
+        sim.schedule_crash(NodeId(1), SimTime::ZERO);
+        assert!(sim.run().is_quiescent());
+        assert_eq!(sim.process(NodeId(0)).notified, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn messages_to_crashed_nodes_are_dropped() {
+        let mut sender = Recorder::quiet();
+        sender.sends_on_start = vec![(NodeId(1), Blob(vec![1, 2, 3]))];
+        let mut sim = Simulation::new(SimConfig::default(), vec![sender, Recorder::quiet()]);
+        sim.schedule_crash(NodeId(1), SimTime::ZERO);
+        assert!(sim.run().is_quiescent());
+        assert_eq!(sim.metrics().messages_dropped(), 1);
+        assert_eq!(sim.metrics().messages_delivered(), 0);
+        assert!(sim.process(NodeId(1)).received.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_uses_message_size() {
+        let mut sender = Recorder::quiet();
+        sender.sends_on_start = vec![
+            (NodeId(1), Blob(vec![0; 10])),
+            (NodeId(1), Blob(vec![0; 32])),
+        ];
+        let mut sim = Simulation::new(SimConfig::default(), vec![sender, Recorder::quiet()]);
+        sim.run();
+        assert_eq!(sim.metrics().bytes_sent(), 42);
+        assert_eq!(sim.metrics().node(NodeId(0)).sent_bytes, 42);
+    }
+
+    #[test]
+    fn event_cap_stops_infinite_pingpong() {
+        struct PingPong;
+        impl Process for PingPong {
+            type Msg = Blob;
+            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(1), Blob(vec![]));
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _: Blob, ctx: &mut Context<'_, Blob>) {
+                ctx.send(from, Blob(vec![]));
+            }
+            fn on_crash_notification(&mut self, _: NodeId, _: &mut Context<'_, Blob>) {}
+        }
+        let config = SimConfig {
+            max_events: Some(100),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, vec![PingPong, PingPong]);
+        let outcome = sim.run();
+        assert!(!outcome.is_quiescent());
+        assert_eq!(outcome.events(), 100);
+    }
+
+    #[test]
+    fn self_sends_are_delivered() {
+        let mut solo = Recorder::quiet();
+        solo.sends_on_start = vec![(NodeId(0), Blob(vec![9]))];
+        let mut sim = Simulation::new(SimConfig::default(), vec![solo]);
+        assert!(sim.run().is_quiescent());
+        assert_eq!(sim.process(NodeId(0)).received.len(), 1);
+        assert_eq!(sim.process(NodeId(0)).received[0].1, NodeId(0));
+    }
+
+    #[test]
+    fn double_crash_is_a_noop() {
+        let mut obs = Recorder::quiet();
+        obs.monitors_on_start = vec![NodeId(1)];
+        let mut sim = Simulation::new(SimConfig::default(), vec![obs, Recorder::quiet()]);
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(1));
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(2));
+        assert!(sim.run().is_quiescent());
+        assert_eq!(
+            sim.process(NodeId(0)).notified.len(),
+            1,
+            "exactly one notification"
+        );
+    }
+
+    #[test]
+    fn trace_entries_recorded_when_enabled() {
+        let mut sender = Recorder::quiet();
+        sender.sends_on_start = vec![(NodeId(1), Blob(vec![]))];
+        let mut sim = Simulation::new(jittery_config(1), vec![sender, Recorder::quiet()]);
+        sim.run();
+        let entries = sim.trace().entries().expect("trace enabled");
+        assert!(entries.iter().any(|e| matches!(
+            e,
+            TraceEntry::Send {
+                from: NodeId(0),
+                to: NodeId(1),
+                ..
+            }
+        )));
+        assert!(entries.iter().any(|e| matches!(
+            e,
+            TraceEntry::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                ..
+            }
+        )));
+    }
+}

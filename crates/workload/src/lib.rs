@@ -1,0 +1,23 @@
+//! Workloads, figure scenarios, sweeps and result tables for the
+//! cliff-edge consensus experiments.
+//!
+//! The paper evaluates nothing quantitatively — its figures are
+//! illustrative scenarios and its claims are qualitative (locality,
+//! convergence). This crate turns both into executable material:
+//!
+//! - [`patterns`] — correlated-failure generators (BFS balls, blobs,
+//!   line-shaped regions, scattered singletons, multi-region patterns)
+//!   and crash-timing schedules (simultaneous, cascades, random spread);
+//! - [`figures`] — faithful reconstructions of the paper's Figure 1
+//!   (cities network with conflicting views), Figure 2 (cluster of
+//!   adjacent faulty domains) and Figure 3 (overlap adversary);
+//! - [`stats`] / [`table`] — summary statistics and markdown/CSV tables
+//!   used by every report binary in `precipice-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod figures;
+pub mod patterns;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,95 @@
+//! Small summary-statistics helpers for experiment reporting.
+
+/// Summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum (0 for empty samples).
+    pub min: f64,
+    /// Maximum (0 for empty samples).
+    pub max: f64,
+    /// Median (0 for empty samples).
+    pub median: f64,
+}
+
+/// Summarizes `samples`.
+///
+/// # Example
+///
+/// ```
+/// use precipice_workload::stats::summarize;
+/// let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// ```
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+        };
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn stddev_of_known_set() {
+        // Population stddev of {2,4,4,4,5,5,7,9} is 2.
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn odd_median() {
+        assert_eq!(summarize(&[3.0, 1.0, 2.0]).median, 2.0);
+    }
+}

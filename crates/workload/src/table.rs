@@ -1,0 +1,177 @@
+//! Plain-text result tables (markdown and CSV), hand-rolled to keep the
+//! dependency set to the sanctioned offline crates.
+
+use std::fmt;
+
+/// A rectangular result table with a title and named columns.
+///
+/// # Example
+///
+/// ```
+/// use precipice_workload::table::Table;
+///
+/// let mut t = Table::new("E0 demo", ["n", "messages"]);
+/// t.push_row(["8", "96"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| n | messages |"));
+/// assert!(t.to_csv().contains("n,messages"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new<S, I, C>(title: S, columns: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = C>,
+        C: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row<I, C>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavored markdown (with the title as a header).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders CSV (header row first; cells containing commas or quotes
+    /// are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Formats a float compactly for table cells (integers plain, otherwise
+/// two decimals).
+///
+/// # Example
+///
+/// ```
+/// use precipice_workload::table::fmt_num;
+/// assert_eq!(fmt_num(42.0), "42");
+/// assert_eq!(fmt_num(2.5), "2.50");
+/// ```
+pub fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout() {
+        let mut t = Table::new("title", ["a", "b"]);
+        t.push_row(["1".to_string(), "2".to_string()]);
+        t.push_row(["3".to_string(), "4".to_string()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### title"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.to_string(), md);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", ["c1", "c,2"]);
+        t.push_row(["plain".to_string(), "has \"quote\", comma".to_string()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("c1,\"c,2\"\n"));
+        assert!(csv.contains("\"has \"\"quote\"\", comma\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", ["a", "b"]);
+        t.push_row(["only-one".to_string()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(-3.0), "-3");
+        assert_eq!(fmt_num(0.333), "0.33");
+        assert_eq!(fmt_num(1234.5), "1234.50");
+    }
+}

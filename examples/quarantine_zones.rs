@@ -1,0 +1,51 @@
+//! The paper's §5 extension, running: agreement on **stable-predicate
+//! regions**. A contagious (stable) condition spreads through part of a
+//! network; the healthy nodes on its border agree on the quarantine
+//! zone's exact extent and elect a warden — using the unmodified
+//! cliff-edge consensus machinery, because "being crashed [is] a
+//! particular case of stable property" (paper §5).
+//!
+//! ```text
+//! cargo run --example quarantine_zones
+//! ```
+
+use precipice::graph::{torus, GridDims, NodeId};
+use precipice::runtime::{check_spec, PredicateScenario};
+use precipice::sim::SimTime;
+
+fn main() {
+    let graph = torus(GridDims::square(6));
+
+    // The condition appears at n14 and spreads to two neighbours over
+    // the next few milliseconds — racing the border's agreement exactly
+    // like a growing crashed region.
+    let scenario = PredicateScenario::builder(graph)
+        .name("quarantine-zones")
+        .afflict(NodeId(14), SimTime::from_millis(1))
+        .afflict(NodeId(15), SimTime::from_millis(6))
+        .afflict(NodeId(20), SimTime::from_millis(11))
+        .seed(2)
+        .build();
+
+    let report = scenario.run();
+    let violations = check_spec(&report);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    println!("quarantine zones agreed:");
+    for region in report.decided_regions() {
+        let wardens: Vec<String> = report
+            .decisions
+            .iter()
+            .filter(|(_, d)| d.view.region() == &region)
+            .map(|(n, d)| format!("{n} (warden {})", d.value))
+            .collect();
+        println!("  zone {region}");
+        println!("    sentinels: {}", wardens.join(", "));
+    }
+    println!(
+        "\nnodes involved: {} of {} (locality holds for predicates too)",
+        report.metrics.nodes_with_traffic().len(),
+        report.graph.len()
+    );
+    println!("CD1-CD7 (read over the predicate): all satisfied ✓");
+}

@@ -1,0 +1,461 @@
+//! `precipice` — command-line front end: describe a topology, a crashed
+//! region and a crash timing; run cliff-edge consensus; get the
+//! decisions, the cost and a CD1–CD7 verdict.
+//!
+//! ```text
+//! precipice --topology torus:16 --region blob:6 --timing cascade:4ms --seed 7
+//! precipice --topology ring:64 --region nodes:3,4,5 --optimized --csv
+//! precipice --topology geometric:200:0.12 --region ball:2 --dot crashed.dot
+//! ```
+//!
+//! Exits non-zero if the run violates the specification (it never should;
+//! `--no-arbitration` exists to see what violations look like).
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use precipice::consensus::ProtocolConfig;
+use precipice::graph::{to_dot, Graph, GridDims, NodeId, Region};
+use precipice::runtime::{check_spec, MulticastMode, Scenario};
+use precipice::sim::{LatencyModel, SimConfig, SimTime};
+use precipice::workload::patterns::{bfs_ball, blob_of_size, line_region, schedule, CrashTiming};
+use precipice::workload::table::{fmt_num, Table};
+
+const USAGE: &str = "\
+precipice — run cliff-edge consensus on a synthetic scenario
+
+USAGE:
+    precipice [OPTIONS]
+
+OPTIONS:
+    --topology <spec>   torus:<side> | grid:<w>x<h> | ring:<n> | path:<n> |
+                        star:<n> | geometric:<n>:<radius> | er:<n>:<p> |
+                        tree:<n>                    [default: torus:8]
+    --region <spec>     blob:<k> | line:<k> | ball:<radius> |
+                        nodes:<id,id,...>           [default: blob:4]
+    --at <node-id>      region seed node            [default: graph center]
+    --timing <spec>     simultaneous | cascade:<dur> | spread:<dur>
+                        (dur like 4ms, 250us, 1s)   [default: simultaneous]
+    --seed <u64>        RNG seed                    [default: 0]
+    --optimized         enable early-termination + fast-abort
+    --no-arbitration    ABLATION: disable the rejection mechanism
+    --sequential-multicast  crash-interruptible multicast loops
+    --csv               print tables as CSV instead of markdown
+    --dot <path>        also write the crashed topology as Graphviz DOT
+    -h, --help          show this help
+";
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    topology: String,
+    region: String,
+    at: Option<u32>,
+    timing: String,
+    seed: u64,
+    optimized: bool,
+    no_arbitration: bool,
+    sequential_multicast: bool,
+    csv: bool,
+    dot: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            topology: "torus:8".into(),
+            region: "blob:4".into(),
+            at: None,
+            timing: "simultaneous".into(),
+            seed: 0,
+            optimized: false,
+            no_arbitration: false,
+            sequential_multicast: false,
+            csv: false,
+            dot: None,
+        }
+    }
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String> {
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--topology" => opts.topology = value("--topology")?,
+            "--region" => opts.region = value("--region")?,
+            "--at" => opts.at = Some(value("--at")?.parse().map_err(|e| format!("--at: {e}"))?),
+            "--timing" => opts.timing = value("--timing")?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--optimized" => opts.optimized = true,
+            "--no-arbitration" => opts.no_arbitration = true,
+            "--sequential-multicast" => opts.sequential_multicast = true,
+            "--csv" => opts.csv = true,
+            "--dot" => opts.dot = Some(value("--dot")?),
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_topology(spec: &str, seed: u64) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    let fnum = |s: &str| {
+        s.parse::<f64>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    match parts.as_slice() {
+        ["torus", side] => Ok(precipice::graph::torus(GridDims::square(num(side)?))),
+        ["grid", dims] => {
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid wants <w>x<h>, got {dims:?}"))?;
+            Ok(precipice::graph::grid(GridDims {
+                width: num(w)?,
+                height: num(h)?,
+            }))
+        }
+        ["ring", n] => Ok(precipice::graph::ring(num(n)?)),
+        ["path", n] => Ok(precipice::graph::path(num(n)?)),
+        ["star", n] => Ok(precipice::graph::star(num(n)?)),
+        ["geometric", n, r] => Ok(precipice::graph::random_geometric_connected(
+            num(n)?,
+            fnum(r)?,
+            seed,
+        )),
+        ["er", n, p] => Ok(precipice::graph::erdos_renyi_connected(
+            num(n)?,
+            fnum(p)?,
+            seed,
+        )),
+        ["tree", n] => Ok(precipice::graph::random_tree(num(n)?, seed)),
+        _ => Err(format!("unknown topology spec {spec:?}")),
+    }
+}
+
+fn parse_region(spec: &str, graph: &Graph, at: Option<u32>) -> Result<Region, String> {
+    let center = at.map(NodeId).unwrap_or(NodeId((graph.len() / 2) as u32));
+    if !graph.contains(center) {
+        return Err(format!("--at {center} out of range (n={})", graph.len()));
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    match parts.as_slice() {
+        ["blob", k] => Ok(blob_of_size(graph, center, num(k)?)),
+        ["line", k] => Ok(line_region(graph, center, num(k)?)),
+        ["ball", r] => Ok(bfs_ball(graph, center, num(r)?)),
+        ["nodes", list] => {
+            let ids: Result<Vec<u32>, _> = list.split(',').map(str::parse).collect();
+            let region: Region = ids
+                .map_err(|e| format!("bad node list: {e}"))?
+                .into_iter()
+                .map(NodeId)
+                .collect();
+            for p in region.iter() {
+                if !graph.contains(p) {
+                    return Err(format!("region node {p} out of range"));
+                }
+            }
+            Ok(region)
+        }
+        _ => Err(format!("unknown region spec {spec:?}")),
+    }
+}
+
+fn parse_duration(s: &str) -> Result<SimTime, String> {
+    let (digits, unit) = s.split_at(s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len()));
+    let n: u64 = digits
+        .parse()
+        .map_err(|e| format!("bad duration {s:?}: {e}"))?;
+    match unit {
+        "ns" => Ok(SimTime::from_nanos(n)),
+        "us" | "µs" => Ok(SimTime::from_micros(n)),
+        "ms" | "" => Ok(SimTime::from_millis(n)),
+        "s" => Ok(SimTime::from_secs(n)),
+        _ => Err(format!("bad duration unit {unit:?} in {s:?}")),
+    }
+}
+
+fn parse_timing(spec: &str, seed: u64) -> Result<CrashTiming, String> {
+    let start = SimTime::from_millis(1);
+    match spec.split_once(':') {
+        None if spec == "simultaneous" => Ok(CrashTiming::Simultaneous(start)),
+        Some(("cascade", d)) => Ok(CrashTiming::Cascade {
+            start,
+            step: parse_duration(d)?,
+        }),
+        Some(("spread", d)) => Ok(CrashTiming::Spread {
+            start,
+            window: parse_duration(d)?,
+            seed,
+        }),
+        _ => Err(format!("unknown timing spec {spec:?}")),
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let graph = parse_topology(&opts.topology, opts.seed)?;
+    let region = parse_region(&opts.region, &graph, opts.at)?;
+    let timing = parse_timing(&opts.timing, opts.seed)?;
+
+    if let Some(path) = &opts.dot {
+        let crashed: BTreeSet<NodeId> = region.iter().collect();
+        std::fs::write(path, to_dot(&graph, &crashed))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    let mut protocol = if opts.optimized {
+        ProtocolConfig::optimized()
+    } else {
+        ProtocolConfig::faithful()
+    };
+    protocol.arbitration = !opts.no_arbitration;
+
+    let scenario = Scenario::builder(graph.clone())
+        .name("cli")
+        .crashes(schedule(region.iter(), timing))
+        .protocol(protocol)
+        .multicast(if opts.sequential_multicast {
+            MulticastMode::Sequential
+        } else {
+            MulticastMode::Atomic
+        })
+        .sim_config(SimConfig {
+            seed: opts.seed,
+            latency: LatencyModel::Uniform {
+                min: SimTime::from_micros(200),
+                max: SimTime::from_millis(2),
+            },
+            fd_latency: LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(5),
+            },
+            record_trace: true,
+            max_events: Some(100_000_000),
+        })
+        .build();
+    let report = scenario.run();
+
+    let mut decisions = Table::new(
+        format!("decisions ({} deciders)", report.decisions.len()),
+        ["node", "region", "border", "coordinator", "at"],
+    );
+    for (node, d) in &report.decisions {
+        decisions.push_row([
+            node.to_string(),
+            d.view.region().to_string(),
+            d.view.border().to_string(),
+            d.value.to_string(),
+            d.at.to_string(),
+        ]);
+    }
+
+    let mut cost = Table::new("cost", ["metric", "value"]);
+    cost.push_row([
+        "topology".to_string(),
+        format!("{} ({} nodes)", opts.topology, graph.len()),
+    ]);
+    cost.push_row(["crashed region".to_string(), region.to_string()]);
+    cost.push_row([
+        "messages".to_string(),
+        report.metrics.messages_sent().to_string(),
+    ]);
+    cost.push_row(["bytes".to_string(), report.metrics.bytes_sent().to_string()]);
+    cost.push_row([
+        "nodes involved".to_string(),
+        format!(
+            "{} / {}",
+            report.metrics.nodes_with_traffic().len(),
+            graph.len()
+        ),
+    ]);
+    cost.push_row([
+        "converged at (ms)".to_string(),
+        fmt_num(report.last_decision_at().map_or(0.0, |t| t.as_millis_f64())),
+    ]);
+
+    if opts.csv {
+        print!("{}", decisions.to_csv());
+        println!();
+        print!("{}", cost.to_csv());
+    } else {
+        println!("{decisions}");
+        println!("{cost}");
+    }
+
+    let violations = check_spec(&report);
+    if violations.is_empty() {
+        println!("specification: CD1-CD7 all satisfied ✓");
+        Ok(true)
+    } else {
+        println!("specification VIOLATED:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let opts = parse(&[
+            "--topology",
+            "ring:32",
+            "--region",
+            "nodes:1,2,3",
+            "--at",
+            "5",
+            "--timing",
+            "cascade:4ms",
+            "--seed",
+            "9",
+            "--optimized",
+            "--no-arbitration",
+            "--sequential-multicast",
+            "--csv",
+            "--dot",
+            "/tmp/x.dot",
+        ])
+        .unwrap();
+        assert_eq!(opts.topology, "ring:32");
+        assert_eq!(opts.region, "nodes:1,2,3");
+        assert_eq!(opts.at, Some(5));
+        assert_eq!(opts.timing, "cascade:4ms");
+        assert_eq!(opts.seed, 9);
+        assert!(opts.optimized && opts.no_arbitration && opts.sequential_multicast && opts.csv);
+        assert_eq!(opts.dot.as_deref(), Some("/tmp/x.dot"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err(), "missing value");
+        assert!(parse(&["--seed", "abc"]).is_err(), "bad value");
+    }
+
+    #[test]
+    fn topology_specs() {
+        assert_eq!(parse_topology("torus:4", 0).unwrap().len(), 16);
+        assert_eq!(parse_topology("grid:3x5", 0).unwrap().len(), 15);
+        assert_eq!(parse_topology("ring:7", 0).unwrap().len(), 7);
+        assert_eq!(parse_topology("path:7", 0).unwrap().len(), 7);
+        assert_eq!(parse_topology("star:7", 0).unwrap().len(), 7);
+        assert_eq!(parse_topology("tree:9", 1).unwrap().len(), 9);
+        assert!(parse_topology("geometric:30:0.4", 1)
+            .unwrap()
+            .is_connected());
+        assert!(parse_topology("er:30:0.3", 1).unwrap().is_connected());
+        assert!(parse_topology("moebius:4", 0).is_err());
+        assert!(parse_topology("grid:3", 0).is_err());
+    }
+
+    #[test]
+    fn region_specs() {
+        let g = parse_topology("torus:6", 0).unwrap();
+        assert_eq!(parse_region("blob:5", &g, None).unwrap().len(), 5);
+        assert_eq!(parse_region("line:4", &g, Some(0)).unwrap().len(), 4);
+        assert_eq!(parse_region("ball:1", &g, Some(7)).unwrap().len(), 5);
+        let explicit = parse_region("nodes:1,3,5", &g, None).unwrap();
+        assert_eq!(explicit.as_slice(), &[NodeId(1), NodeId(3), NodeId(5)]);
+        assert!(parse_region("nodes:999", &g, None).is_err());
+        assert!(parse_region("blob:x", &g, None).is_err());
+        assert!(parse_region("blob:3", &g, Some(999)).is_err());
+    }
+
+    #[test]
+    fn durations_and_timing() {
+        assert_eq!(parse_duration("4ms").unwrap(), SimTime::from_millis(4));
+        assert_eq!(parse_duration("250us").unwrap(), SimTime::from_micros(250));
+        assert_eq!(parse_duration("1s").unwrap(), SimTime::from_secs(1));
+        assert_eq!(parse_duration("7").unwrap(), SimTime::from_millis(7));
+        assert!(parse_duration("4lightyears").is_err());
+        assert!(matches!(
+            parse_timing("simultaneous", 0).unwrap(),
+            CrashTiming::Simultaneous(_)
+        ));
+        assert!(matches!(
+            parse_timing("cascade:2ms", 0).unwrap(),
+            CrashTiming::Cascade { .. }
+        ));
+        assert!(matches!(
+            parse_timing("spread:50ms", 3).unwrap(),
+            CrashTiming::Spread { .. }
+        ));
+        assert!(parse_timing("sometimes", 0).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_is_clean() {
+        let opts = Options {
+            topology: "torus:6".into(),
+            region: "blob:3".into(),
+            timing: "cascade:2ms".into(),
+            seed: 3,
+            ..Options::default()
+        };
+        assert_eq!(run(&opts), Ok(true));
+    }
+
+    #[test]
+    fn ablation_run_reports_violations_somewhere() {
+        // Not every seed breaks, but this pinned one produces skew; we
+        // only require that the run completes with a boolean verdict.
+        let opts = Options {
+            topology: "torus:8".into(),
+            region: "line:4".into(),
+            timing: "cascade:1ms".into(),
+            seed: 1,
+            no_arbitration: true,
+            ..Options::default()
+        };
+        let verdict = run(&opts).expect("runs");
+        let _ = verdict; // spec may or may not break for this seed; both are valid runs.
+    }
+}

@@ -1,0 +1,219 @@
+//! Integration tests for the paper's figure scenarios (E1–E3), pinned to
+//! deterministic seeds: the narrative of §2.1 must play out exactly.
+
+use precipice::consensus::ProtocolConfig;
+use precipice::graph::Region;
+use precipice::runtime::{check_spec, faulty_clusters, faulty_domains, Scenario};
+use precipice::sim::SimTime;
+use precipice::workload::figures::{figure3_scenario, Figure1, Figure2};
+use precipice::workload::patterns::CrashTiming;
+
+#[test]
+fn figure1a_independent_agreements_with_locality() {
+    let fig = Figure1::new();
+    for seed in 0..8u64 {
+        let report = fig.scenario_a(seed).run();
+        assert!(check_spec(&report).is_empty(), "seed {seed}");
+        // Exactly F1 and F2 are decided.
+        assert_eq!(
+            report.decided_regions(),
+            vec![fig.f1.clone(), fig.f2.clone()]
+        );
+        // Every correct border node of each region decided.
+        for region in [&fig.f1, &fig.f2] {
+            for b in fig.graph.border_of(region.iter()) {
+                assert!(
+                    report.decisions.contains_key(&b),
+                    "border node {} of {region} missing (seed {seed})",
+                    fig.graph.display_name(b)
+                );
+            }
+        }
+        // Locality: the two agreements never touch each other's closure.
+        let west: Vec<_> = fig
+            .f1
+            .iter()
+            .chain(fig.graph.border_of(fig.f1.iter()))
+            .collect();
+        let east: Vec<_> = fig
+            .f2
+            .iter()
+            .chain(fig.graph.border_of(fig.f2.iter()))
+            .collect();
+        for &(a, b) in report.message_pairs.as_ref().unwrap() {
+            let in_west = west.contains(&a) && west.contains(&b);
+            let in_east = east.contains(&a) && east.contains(&b);
+            assert!(
+                in_west || in_east,
+                "message {a}->{b} crosses region closures (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1b_early_paris_crash_converges_on_f3() {
+    let fig = Figure1::new();
+    // paris crashes well inside the F1 detection/agreement window: the
+    // F1 instance cannot complete (paris never proposed), so the west
+    // side must converge on F3 with berlin on board.
+    for seed in 0..8u64 {
+        let report = fig.scenario_b(seed, SimTime::from_millis(2)).run();
+        assert!(check_spec(&report).is_empty(), "seed {seed}");
+        let regions = report.decided_regions();
+        assert!(
+            regions.contains(&fig.f3),
+            "west must decide F3 (seed {seed}): {regions:?}"
+        );
+        let berlin = fig.graph.node_by_label("berlin").unwrap();
+        assert!(
+            report.decisions[&berlin].view.region() == &fig.f3,
+            "berlin decides the full F3 (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn figure1b_late_paris_crash_lets_f1_complete() {
+    let fig = Figure1::new();
+    // paris crashes long after the F1 agreement settled: F1 is decided;
+    // the grown region may then starve (weak progress) — but the spec
+    // still holds and the F2 agreement is untouched.
+    for seed in 0..8u64 {
+        let report = fig.scenario_b(seed, SimTime::from_millis(200)).run();
+        assert!(check_spec(&report).is_empty(), "seed {seed}");
+        let regions = report.decided_regions();
+        assert!(
+            regions.contains(&fig.f1),
+            "F1 decided before growth (seed {seed})"
+        );
+        assert!(regions.contains(&fig.f2), "F2 unaffected (seed {seed})");
+    }
+}
+
+#[test]
+fn figure2_chain_is_one_cluster_and_progresses() {
+    for k in [2usize, 3, 5] {
+        let fig = Figure2::new(k, 2);
+        let faulty = fig.domains.iter().flat_map(Region::iter).collect();
+        let domains = faulty_domains(fig.graph.as_ref(), &faulty);
+        let clusters = faulty_clusters(fig.graph.as_ref(), &domains);
+        assert_eq!(clusters.len(), 1, "k={k}: Fig.2 shape must be one cluster");
+
+        let report = fig
+            .scenario(3, CrashTiming::Simultaneous(SimTime::from_millis(1)))
+            .run();
+        let violations = check_spec(&report);
+        assert!(violations.is_empty(), "k={k}: {violations:?}");
+        // Cluster-level progress: at least one domain decided.
+        assert!(!report.decisions.is_empty(), "k={k}");
+        // Each decided region must be exactly one of the domains (the
+        // separators are alive, so domains can never merge).
+        for r in report.decided_regions() {
+            assert!(
+                fig.domains.contains(&r),
+                "k={k}: decided {r} is not a domain"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure3_sweep_never_overlaps() {
+    let mut total_decisions = 0;
+    for growth in [1usize, 3] {
+        for delay_ms in [1u64, 6, 24] {
+            for seed in 0..6u64 {
+                let (scenario, full) =
+                    figure3_scenario(6, growth, SimTime::from_millis(delay_ms), seed);
+                let report = scenario.run();
+                let violations = check_spec(&report);
+                assert!(
+                    violations.is_empty(),
+                    "growth={growth} delay={delay_ms} seed={seed}: {violations:?}"
+                );
+                for r in report.decided_regions() {
+                    assert!(r.is_subset_of(&full));
+                }
+                total_decisions += report.decisions.len();
+            }
+        }
+    }
+    assert!(
+        total_decisions > 0,
+        "the sweep must produce decisions somewhere"
+    );
+}
+
+#[test]
+fn figure_scenarios_hold_under_optimizations() {
+    let fig = Figure1::new();
+    for config in [
+        ProtocolConfig::optimized(),
+        ProtocolConfig::faithful().with_fast_abort(true),
+    ] {
+        let mut scenario = fig.scenario_b(5, SimTime::from_millis(4));
+        scenario.protocol = config;
+        let report = scenario.run();
+        assert!(check_spec(&report).is_empty(), "{config:?}");
+    }
+    let fig2 = Figure2::new(4, 1);
+    let mut scenario = fig2.scenario(9, CrashTiming::Simultaneous(SimTime::from_millis(1)));
+    scenario.protocol = ProtocolConfig::optimized();
+    let report = scenario.run();
+    assert!(check_spec(&report).is_empty());
+}
+
+#[test]
+fn figure2_shared_border_nodes_champion_one_domain() {
+    // A node separating two adjacent domains only ever proposes its
+    // higher-ranked side (maxRankedRegion) — the self-constituency
+    // problem resolved by ranking.
+    let fig = Figure2::new(2, 2);
+    let report = fig
+        .scenario(1, CrashTiming::Simultaneous(SimTime::from_millis(1)))
+        .run();
+    assert!(check_spec(&report).is_empty());
+    // The separator borders both domains.
+    let separator = precipice::graph::NodeId(3);
+    assert!(fig
+        .graph
+        .border_of(fig.domains[0].iter())
+        .contains(&separator));
+    assert!(fig
+        .graph
+        .border_of(fig.domains[1].iter())
+        .contains(&separator));
+    // Whatever it decided (if anything), it is one whole domain.
+    if let Some(d) = report.decisions.get(&separator) {
+        assert!(fig.domains.contains(d.view.region()));
+    }
+}
+
+#[test]
+fn custom_scenario_domains_merge_when_separator_dies() {
+    // Complement to Fig.2: if a separator between two domains crashes
+    // too, the domains become ONE region and the agreement reflects it.
+    let fig = Figure2::new(2, 2);
+    let separator = precipice::graph::NodeId(3);
+    let mut crashes: Vec<_> = fig
+        .domains
+        .iter()
+        .flat_map(Region::iter)
+        .map(|p| (p, SimTime::from_millis(1)))
+        .collect();
+    crashes.push((separator, SimTime::from_millis(1)));
+    let scenario = Scenario::builder(fig.graph.as_ref().clone())
+        .crashes(crashes)
+        .seed(2)
+        .build();
+    let report = scenario.run();
+    assert!(check_spec(&report).is_empty());
+    let merged: Region = fig
+        .domains
+        .iter()
+        .flat_map(Region::iter)
+        .chain([separator])
+        .collect();
+    assert_eq!(report.decided_regions(), vec![merged]);
+}

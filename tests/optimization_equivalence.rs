@@ -1,0 +1,121 @@
+//! The footnote-6 optimizations must be *observationally equivalent* on
+//! decisions: same scenario, same seed — identical (view, value) outcomes
+//! across all four configurations, with the optimized runs doing no more
+//! rounds than the faithful one.
+
+use precipice::consensus::ProtocolConfig;
+use precipice::graph::{star, torus, GridDims, NodeId};
+use precipice::runtime::{check_spec, RunReport, Scenario};
+use precipice::sim::SimTime;
+use precipice::workload::patterns::bfs_ball;
+
+fn configs() -> [(&'static str, ProtocolConfig); 4] {
+    [
+        ("faithful", ProtocolConfig::faithful()),
+        (
+            "early",
+            ProtocolConfig::faithful().with_early_termination(true),
+        ),
+        ("abort", ProtocolConfig::faithful().with_fast_abort(true)),
+        ("optimized", ProtocolConfig::optimized()),
+    ]
+}
+
+fn run(scenario: &Scenario, config: ProtocolConfig) -> RunReport<NodeId> {
+    let mut s = scenario.clone();
+    s.protocol = config;
+    let report = s.run();
+    let violations = check_spec(&report);
+    assert!(violations.is_empty(), "{config:?}: {violations:?}");
+    report
+}
+
+#[test]
+fn single_region_decisions_identical_across_configs() {
+    let graph = torus(GridDims::square(6));
+    let region = bfs_ball(&graph, NodeId(14), 1);
+    let scenario = Scenario::builder(graph)
+        .crashes(region.iter().map(|p| (p, SimTime::from_millis(1))))
+        .seed(9)
+        .build();
+    let baseline = run(&scenario, ProtocolConfig::faithful());
+    let reference: Vec<_> = baseline
+        .decisions
+        .iter()
+        .map(|(&n, d)| (n, d.view.clone(), d.value))
+        .collect();
+    for (name, config) in configs() {
+        let report = run(&scenario, config);
+        let got: Vec<_> = report
+            .decisions
+            .iter()
+            .map(|(&n, d)| (n, d.view.clone(), d.value))
+            .collect();
+        assert_eq!(got, reference, "config {name} changed the decisions");
+    }
+}
+
+#[test]
+fn early_termination_cuts_rounds_on_wide_borders() {
+    // A star hub crash gives a |B|=12 instance: 11 rounds faithful, ~2-3
+    // with early termination.
+    let graph = star(13);
+    let scenario = Scenario::builder(graph)
+        .crash(NodeId(0), SimTime::from_millis(1))
+        .seed(4)
+        .build();
+    let faithful = run(&scenario, ProtocolConfig::faithful());
+    let early = run(
+        &scenario,
+        ProtocolConfig::faithful().with_early_termination(true),
+    );
+    let rounds = |r: &RunReport<NodeId>| r.stats.values().map(|s| s.max_round).max().unwrap();
+    assert_eq!(rounds(&faithful), 11);
+    assert!(
+        rounds(&early) <= 3,
+        "early termination still took {} rounds",
+        rounds(&early)
+    );
+    assert!(
+        early.metrics.messages_sent() < faithful.metrics.messages_sent() / 2,
+        "early termination must cut messages substantially"
+    );
+    // And the decisions agree.
+    assert_eq!(
+        faithful
+            .decisions
+            .values()
+            .map(|d| (d.view.clone(), d.value))
+            .collect::<Vec<_>>(),
+        early
+            .decisions
+            .values()
+            .map(|d| (d.view.clone(), d.value))
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn optimizations_hold_under_cascading_growth() {
+    let graph = torus(GridDims::square(8));
+    let region = precipice::workload::patterns::line_region(&graph, NodeId(27), 4);
+    for seed in 0..4u64 {
+        let scenario = Scenario::builder(graph.clone())
+            .crashes(precipice::workload::patterns::schedule(
+                region.iter(),
+                precipice::workload::patterns::CrashTiming::Cascade {
+                    start: SimTime::from_millis(1),
+                    step: SimTime::from_millis(3),
+                },
+            ))
+            .seed(seed)
+            .build();
+        for (name, config) in configs() {
+            let report = run(&scenario, config);
+            assert!(
+                report.outcome.is_quiescent(),
+                "{name} (seed {seed}) did not quiesce"
+            );
+        }
+    }
+}

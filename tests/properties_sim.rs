@@ -1,0 +1,300 @@
+//! The central correctness suite: the paper's Theorems 1–4 as executable
+//! properties.
+//!
+//! Random topologies × random correlated-failure patterns × random crash
+//! timing (including crashes landing mid-protocol) × jittery latencies ×
+//! every protocol configuration — after quiescence, every run must
+//! satisfy CD1–CD7 exactly as specified in §2.3 of the paper
+//! ([`check_spec`] returns no violations).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use precipice::consensus::ProtocolConfig;
+use precipice::graph::{
+    erdos_renyi_connected, random_geometric_connected, random_tree, ring, torus, Graph, GridDims,
+    NodeId,
+};
+use precipice::runtime::{check_spec, MulticastMode, Scenario};
+use precipice::sim::{LatencyModel, SimConfig, SimTime};
+
+/// A reproducible scenario recipe; everything derives from these knobs.
+#[derive(Debug, Clone)]
+struct Recipe {
+    topology: TopologyKind,
+    n: usize,
+    /// Seeds for graph generation and the simulator schedule.
+    seed: u64,
+    /// Number of crash "balls" (correlated regions).
+    regions: usize,
+    /// Radius (in BFS hops) of each crashed ball.
+    radius: usize,
+    /// Spread of crash times: 0 = simultaneous, otherwise crashes land
+    /// uniformly across this many milliseconds (racing the protocol).
+    spread_ms: u64,
+    config: ProtocolConfig,
+    /// Atomic multicasts, or the paper's crash-interruptible loop
+    /// (partial multicasts under cascading crashes).
+    multicast: MulticastMode,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TopologyKind {
+    Ring,
+    Torus,
+    Geometric,
+    ErdosRenyi,
+    TreePlus,
+}
+
+fn build_graph(recipe: &Recipe) -> Graph {
+    match recipe.topology {
+        TopologyKind::Ring => ring(recipe.n.max(3)),
+        TopologyKind::Torus => {
+            let side = (recipe.n as f64).sqrt().ceil().max(3.0) as usize;
+            torus(GridDims::square(side))
+        }
+        TopologyKind::Geometric => random_geometric_connected(recipe.n.max(8), 0.35, recipe.seed),
+        TopologyKind::ErdosRenyi => erdos_renyi_connected(recipe.n.max(8), 0.25, recipe.seed),
+        TopologyKind::TreePlus => {
+            // A tree plus a few chords: sparse, high-diameter.
+            let tree = random_tree(recipe.n.max(4), recipe.seed);
+            let n = tree.len() as u32;
+            let mut edges: Vec<(u32, u32)> = tree.edges().map(|(u, v)| (u.0, v.0)).collect();
+            let mut x = recipe.seed | 1;
+            for _ in 0..(recipe.n / 4) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = (x >> 33) as u32 % n;
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = (x >> 33) as u32 % n;
+                edges.push((a, b));
+            }
+            Graph::from_edges(n as usize, edges)
+        }
+    }
+}
+
+/// Picks `regions` BFS balls of radius `radius` as the crash set, leaving
+/// at least a third of the system alive.
+fn pick_crash_set(graph: &Graph, recipe: &Recipe) -> BTreeSet<NodeId> {
+    let n = graph.len();
+    let mut crashed = BTreeSet::new();
+    let mut x = recipe.seed ^ 0x5851_F42D_4C95_7F2D;
+    for _ in 0..recipe.regions {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let seed_node = NodeId(((x >> 33) as usize % n) as u32);
+        let mut ball = vec![seed_node];
+        let mut frontier = vec![seed_node];
+        for _ in 0..recipe.radius {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for &q in graph.neighbors(p) {
+                    if !ball.contains(&q) {
+                        ball.push(q);
+                        next.push(q);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for p in ball {
+            if crashed.len() < (2 * n) / 3 {
+                crashed.insert(p);
+            }
+        }
+    }
+    // Never crash everyone: guarantee at least one correct node per
+    // domain border by capping at 2n/3 above.
+    crashed
+}
+
+fn run_recipe(recipe: &Recipe) -> (usize, Vec<String>) {
+    let graph = build_graph(recipe);
+    let crashed = pick_crash_set(&graph, recipe);
+    let mut builder = Scenario::builder(graph)
+        .name(format!("{recipe:?}"))
+        .seed(recipe.seed)
+        .protocol(recipe.config)
+        .multicast(recipe.multicast)
+        .sim_config(SimConfig {
+            seed: recipe.seed,
+            latency: LatencyModel::Uniform {
+                min: SimTime::from_micros(100),
+                max: SimTime::from_millis(12),
+            },
+            fd_latency: LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(25),
+            },
+            record_trace: true,
+            max_events: Some(20_000_000),
+        });
+    let mut x = recipe.seed ^ 0xABCD_EF01_2345_6789;
+    for &node in &crashed {
+        let at = if recipe.spread_ms == 0 {
+            SimTime::from_millis(1)
+        } else {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            SimTime::from_micros(1 + (x >> 33) % (recipe.spread_ms * 1000))
+        };
+        builder = builder.crash(node, at);
+    }
+    let report = builder.build().run();
+    let violations = check_spec(&report);
+    (
+        report.decisions.len(),
+        violations.iter().map(|v| v.to_string()).collect(),
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = ProtocolConfig> {
+    (any::<bool>(), any::<bool>()).prop_map(|(early, fast)| {
+        ProtocolConfig::faithful()
+            .with_early_termination(early)
+            .with_fast_abort(fast)
+    })
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Ring),
+        Just(TopologyKind::Torus),
+        Just(TopologyKind::Geometric),
+        Just(TopologyKind::ErdosRenyi),
+        Just(TopologyKind::TreePlus),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The flagship property: an arbitrary correlated-failure scenario
+    /// satisfies the complete CD1–CD7 specification at quiescence.
+    #[test]
+    fn spec_holds_on_random_scenarios(
+        topology in arb_topology(),
+        n in 9usize..40,
+        seed in any::<u64>(),
+        regions in 1usize..4,
+        radius in 0usize..3,
+        spread_ms in prop_oneof![Just(0u64), Just(5u64), Just(60u64)],
+        config in arb_config(),
+        multicast in prop_oneof![Just(MulticastMode::Atomic), Just(MulticastMode::Sequential)],
+    ) {
+        let recipe = Recipe { topology, n, seed, regions, radius, spread_ms, config, multicast };
+        let (_, violations) = run_recipe(&recipe);
+        prop_assert!(violations.is_empty(), "violations: {violations:#?} for {recipe:?}");
+    }
+
+    /// Simultaneous mass failure of a large ball — the hardest locality
+    /// shape — still satisfies the spec, and someone decides.
+    #[test]
+    fn big_ball_failures_decide(
+        seed in any::<u64>(),
+        config in arb_config(),
+    ) {
+        let recipe = Recipe {
+            topology: TopologyKind::Torus,
+            n: 49,
+            seed,
+            regions: 1,
+            radius: 2,
+            spread_ms: 0,
+            config,
+            multicast: MulticastMode::Atomic,
+        };
+        let (decisions, violations) = run_recipe(&recipe);
+        prop_assert!(violations.is_empty(), "violations: {violations:#?}");
+        prop_assert!(decisions > 0, "nobody decided on a torus ball failure");
+    }
+
+    /// Crashes drizzling in over a long window (every crash races the
+    /// ongoing agreement) keep all properties intact.
+    #[test]
+    fn slow_cascade_converges(
+        seed in any::<u64>(),
+        topology in arb_topology(),
+        config in arb_config(),
+    ) {
+        let recipe = Recipe {
+            topology,
+            n: 25,
+            seed,
+            regions: 2,
+            radius: 1,
+            spread_ms: 250,
+            config,
+            multicast: MulticastMode::Atomic,
+        };
+        let (_, violations) = run_recipe(&recipe);
+        prop_assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+
+    /// The paper's multicast is a *plain loop* a crash can interrupt:
+    /// cascading crashes now leave partial multicasts behind, the exact
+    /// adversary of Lemma 3's cascading-crashes argument. The spec must
+    /// still hold.
+    #[test]
+    fn spec_holds_under_partial_multicasts(
+        seed in any::<u64>(),
+        topology in arb_topology(),
+        config in arb_config(),
+        spread_ms in prop_oneof![Just(3u64), Just(30u64)],
+    ) {
+        let recipe = Recipe {
+            topology,
+            n: 25,
+            seed,
+            regions: 2,
+            radius: 1,
+            spread_ms,
+            config,
+            multicast: MulticastMode::Sequential,
+        };
+        let (_, violations) = run_recipe(&recipe);
+        prop_assert!(violations.is_empty(), "violations: {violations:#?} for {recipe:?}");
+    }
+}
+
+/// Deterministic regression corpus: one fixed recipe per topology kind,
+/// checked exhaustively (fast, no proptest shrinkage involved).
+#[test]
+fn fixed_corpus_satisfies_spec() {
+    let kinds = [
+        TopologyKind::Ring,
+        TopologyKind::Torus,
+        TopologyKind::Geometric,
+        TopologyKind::ErdosRenyi,
+        TopologyKind::TreePlus,
+    ];
+    for (i, &topology) in kinds.iter().enumerate() {
+        for spread_ms in [0u64, 40] {
+            for config in [ProtocolConfig::faithful(), ProtocolConfig::optimized()] {
+                for multicast in [MulticastMode::Atomic, MulticastMode::Sequential] {
+                    let recipe = Recipe {
+                        topology,
+                        n: 24,
+                        seed: 1000 + i as u64,
+                        regions: 2,
+                        radius: 1,
+                        spread_ms,
+                        config,
+                        multicast,
+                    };
+                    let (decisions, violations) = run_recipe(&recipe);
+                    assert!(violations.is_empty(), "{recipe:?}: {violations:#?}");
+                    assert!(decisions > 0, "{recipe:?}: nobody decided");
+                }
+            }
+        }
+    }
+}
