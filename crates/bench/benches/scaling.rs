@@ -36,7 +36,8 @@ fn bench_system_size(c: &mut Criterion) {
     // The global baseline is wall-clock heavy (its cost is the point);
     // criterion only tracks the small size — the E4 report binary
     // measures the larger ones once each.
-    for n in [64usize] {
+    {
+        let n = 64usize;
         let graph = torus_of(n);
         let crashes: Vec<(NodeId, SimTime)> = carve_region(&graph, RegionShape::Blob, 8)
             .iter()

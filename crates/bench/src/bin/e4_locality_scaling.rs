@@ -1,7 +1,7 @@
 //! Report binary: E4 — local complexity: cost vs system size.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e4_locality_scaling`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e4_locality_scaling`.
 
 fn main() {
     println!("# E4 — local complexity: cost vs system size\n");

@@ -1,7 +1,7 @@
 //! Report binary: E5 — cost vs crashed-region shape and extent.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e5_region_scaling`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e5_region_scaling`.
 
 fn main() {
     println!("# E5 — cost vs crashed-region shape and extent\n");

@@ -1,7 +1,7 @@
 //! Report binary: E6 — convergence under ongoing failures.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e6_churn_convergence`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e6_churn_convergence`.
 
 fn main() {
     println!("# E6 — convergence under ongoing failures\n");

@@ -1,7 +1,7 @@
 //! Report binary: E7 — optimization and arbitration ablations.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e7_ablations`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e7_ablations`.
 
 fn main() {
     println!("# E7 — optimization and arbitration ablations\n");

@@ -1,7 +1,7 @@
 //! Report binary: E8 — simulator vs live thread backend.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin e8_live_backend`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e8_live_backend`.
 
 fn main() {
     println!("# E8 — simulator vs live thread backend\n");

@@ -1,7 +1,7 @@
 //! Report binary: E1 / Figure 1 — protocol instances and conflicting views.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin fig1_conflicting_views`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig1_conflicting_views`.
 
 fn main() {
     println!("# E1 / Figure 1 — protocol instances and conflicting views\n");

@@ -1,7 +1,7 @@
 //! Report binary: E2 / Figure 2 — a cluster of adjacent faulty domains.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin fig2_adjacent_domains`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig2_adjacent_domains`.
 
 fn main() {
     println!("# E2 / Figure 2 — a cluster of adjacent faulty domains\n");

@@ -1,7 +1,7 @@
 //! Report binary: E3 / Figure 3 — convergence between overlapping views.
 //!
-//! Regenerates the experiment's tables (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run with `cargo run --release -p precipice-bench --bin fig3_view_convergence`.
+//! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig3_view_convergence`.
 
 fn main() {
     println!("# E3 / Figure 3 — convergence between overlapping views\n");

@@ -1,4 +1,4 @@
-//! The E1–E8 experiment implementations (see DESIGN.md §5).
+//! The E1–E8 experiment implementations.
 //!
 //! Each function runs one experiment and returns printable result
 //! tables; the `src/bin/*` report binaries are thin wrappers. Everything

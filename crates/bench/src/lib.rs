@@ -1,6 +1,7 @@
 //! Shared experiment machinery for the report binaries and criterion
-//! benches. See `DESIGN.md` §5 for the experiment index (E1–E8) and
-//! `EXPERIMENTS.md` for recorded results.
+//! benches. See the [`experiments`] module docs for the experiment index
+//! (E1–E8); the binaries under `src/bin/` regenerate each table, and
+//! `cargo bench -p precipice-bench` runs the criterion suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]

@@ -9,7 +9,7 @@ use crate::View;
 /// proposed view (the `opinions[V][·][·]` and `waiting[V][·]` state of
 /// Algorithm 1, lines 20–22).
 ///
-/// One clarification over the literal pseudocode (see DESIGN.md §4):
+/// One clarification over the literal pseudocode:
 /// nodes known to have **rejected** the view are excluded from the wait
 /// set of *every* round, not just the round their rejection message was
 /// tagged with — a rejecter sends nothing further for this view, and the

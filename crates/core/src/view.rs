@@ -68,7 +68,8 @@ impl View {
     ///
     /// The paper's Algorithm 1 uses `|B| − 1` rounds; the `max(1, …)`
     /// clamp covers the degenerate single-participant border, where the
-    /// lone node completes one self-round and decides (see DESIGN.md §4).
+    /// lone node completes one self-round and decides (see the
+    /// [`crate::instance`] notes on deviations from the pseudocode).
     pub fn total_rounds(&self) -> u32 {
         (self.border.len().saturating_sub(1)).max(1) as u32
     }

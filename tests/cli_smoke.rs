@@ -1,0 +1,67 @@
+//! End-to-end smoke tests of the `precipice` CLI binary: spawn the real
+//! executable, check the exit code and the CD1–CD7 verdict on stdout —
+//! the same contract CI's smoke job relies on.
+
+use std::process::{Command, Output};
+
+fn precipice(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_precipice"))
+        .args(args)
+        .output()
+        .expect("spawn precipice binary")
+}
+
+#[test]
+fn default_scenario_passes_spec() {
+    let out = precipice(&["--topology", "torus:8", "--region", "blob:2", "--seed", "7"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(
+        out.status.success(),
+        "non-zero exit: {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        stdout.contains("CD1-CD7 all satisfied"),
+        "missing pass verdict in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("decisions"),
+        "missing decisions table in:\n{stdout}"
+    );
+}
+
+#[test]
+fn optimized_cascade_csv_passes_spec() {
+    let out = precipice(&[
+        "--topology",
+        "ring:32",
+        "--region",
+        "line:3",
+        "--timing",
+        "cascade:2ms",
+        "--seed",
+        "11",
+        "--optimized",
+        "--csv",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("CD1-CD7 all satisfied"), "in:\n{stdout}");
+}
+
+#[test]
+fn help_exits_with_usage() {
+    let out = precipice(&["--help"]);
+    // The CLI prints usage on stderr and exits 2 (usage is the "error"
+    // path of the tiny flag parser).
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn bad_flags_exit_nonzero() {
+    let out = precipice(&["--topology", "moebius:4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown topology"));
+}

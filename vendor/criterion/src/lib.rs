@@ -1,0 +1,291 @@
+//! Offline, API-compatible subset of the `criterion` crate so the
+//! workspace's benches compile and run without network access. It keeps
+//! criterion's bench-authoring surface (`criterion_group!`,
+//! `criterion_main!`, groups, `iter`, `iter_batched`) but replaces the
+//! statistical machinery with a simple calibrated loop: warm up, pick an
+//! iteration count that fills the measurement window, report mean
+//! time per iteration. Good enough for the relative comparisons the
+//! E4–E8 experiments make; swap in real criterion when network returns.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup (accepted, not acted on: the stub
+/// always times one batch element at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Per-iteration input of unknown size.
+    PerIteration,
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's display convention.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the closure under measurement; drives the timed loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibrate: one iteration to estimate cost, then spread the
+    // measurement window over `sample_size` samples.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let budget = measurement_time.max(Duration::from_millis(10));
+    let iters = (budget.as_nanos() / per_iter.as_nanos() / sample_size.max(1) as u128)
+        .clamp(1, 1_000_000) as u64;
+
+    let mut best = per_iter;
+    let mut total = probe.elapsed;
+    let mut total_iters = probe.iters;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        best = best.min(per);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    println!("{name:<60} mean {mean:>12.2?}   best {best:>12.2?}   ({total_iters} iters)");
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Target wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench driver handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (n, t) = (self.sample_size, self.measurement_time);
+        run_one(&id.into_id(), n, t, &mut f);
+        self
+    }
+
+    /// Final reporting hook (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut counter = 0u64;
+        group.bench_function("count", |b| b.iter(|| counter += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_as_path() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}
