@@ -5,10 +5,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use precipice_bench::{set_algebra_case, SET_ALGEBRA_SIZES};
 use precipice_core::{
     CliffEdgeNode, Event, Message, NodeIdValuePolicy, Opinion, OpinionVector, ProtocolConfig,
 };
-use precipice_graph::{rank_cmp, star, torus, Graph, GridDims, NodeId, Region};
+use precipice_graph::{
+    connected_components, rank_cmp, rank_cmp_keyed, reference, star, torus, Graph, GridDims,
+    NodeId, Region,
+};
 
 type Node = CliffEdgeNode<Arc<Graph>, NodeIdValuePolicy>;
 
@@ -108,5 +112,51 @@ fn bench_ranking(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_deliver, bench_crash_event, bench_ranking);
+/// The graph-layer set algebra that every crash, ranking, and view
+/// construction funnels through: bitset path vs the retained `BTreeSet`
+/// reference implementations, across system sizes.
+fn bench_set_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_algebra");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+    for n in SET_ALGEBRA_SIZES {
+        let (g, region, other) = set_algebra_case(n);
+        let set: std::collections::BTreeSet<NodeId> = region.iter().collect();
+
+        group.bench_function(format!("border_of/bitset/n{n}"), |b| {
+            b.iter(|| std::hint::black_box(g.border_of(region.iter())))
+        });
+        group.bench_function(format!("border_of/reference/n{n}"), |b| {
+            b.iter(|| std::hint::black_box(reference::border_of(&g, region.iter())))
+        });
+        group.bench_function(format!("connected_components/bitset/n{n}"), |b| {
+            b.iter(|| std::hint::black_box(connected_components(&g, &set)))
+        });
+        group.bench_function(format!("connected_components/reference/n{n}"), |b| {
+            b.iter(|| std::hint::black_box(reference::connected_components(&g, &set)))
+        });
+        // Ranking with the border memo warm (the steady-state protocol
+        // path) vs recomputing both borders from scratch.
+        group.bench_function(format!("rank_cmp/cached/n{n}"), |b| {
+            b.iter(|| std::hint::black_box(rank_cmp(&g, &region, &other)))
+        });
+        group.bench_function(format!("rank_cmp/uncached/n{n}"), |b| {
+            b.iter(|| {
+                let ka = reference::border_of(&g, region.iter()).len();
+                let kb = reference::border_of(&g, other.iter()).len();
+                std::hint::black_box(rank_cmp_keyed(&region, ka, &other, kb))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deliver,
+    bench_crash_event,
+    bench_ranking,
+    bench_set_algebra
+);
 criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! Report binary: before/after numbers for the graph-layer set-algebra
+//! hot path, written as machine-readable JSON.
+//!
+//! "Before" is the retained `BTreeSet` reference implementation
+//! (`precipice_graph::reference`), "after" is the shipping bitset path —
+//! both measured in the same process on the same inputs, so the report
+//! is a self-contained perf regression artifact. The report also records
+//! the fig1–fig3 simulator trace hashes, pinning that the perf work did
+//! not change observable protocol behavior.
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_protocol -- [--json PATH] [--quick]`
+//!
+//! Writes `BENCH_protocol.json` to the current directory by default.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use precipice_bench::{
+    pinned_figure_scenarios, set_algebra_case, trace_hash_of, SET_ALGEBRA_SIZES,
+};
+use precipice_graph::{
+    connected_components, connected_components_set, rank_cmp, rank_cmp_keyed, reachable_within,
+    reachable_within_set, reference, NodeId, NodeSet,
+};
+
+/// Nanoseconds per iteration: calibrate on a probe run, then take the
+/// best mean of `SAMPLES` timed batches (best-of smooths scheduler
+/// noise without criterion's machinery).
+fn time_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
+    const SAMPLES: u32 = 5;
+    let probe_start = Instant::now();
+    f();
+    let per_iter = probe_start.elapsed().max(Duration::from_nanos(1));
+    let iters =
+        (budget.as_nanos() / per_iter.as_nanos() / u128::from(SAMPLES)).clamp(1, 1_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    best
+}
+
+struct BenchRow {
+    name: &'static str,
+    n: usize,
+    region: usize,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_protocol.json".to_owned());
+    let budget = if quick {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(100)
+    };
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    for n in SET_ALGEBRA_SIZES {
+        let (g, region, other) = set_algebra_case(n);
+        let set: BTreeSet<NodeId> = region.iter().collect();
+        let node_set = NodeSet::from(&region);
+        let seed = region.iter().next().expect("non-empty region");
+        let k = region.len();
+
+        rows.push(BenchRow {
+            name: "border_of",
+            n,
+            region: k,
+            before_ns: time_ns(budget, || {
+                std::hint::black_box(reference::border_of(&g, region.iter()));
+            }),
+            after_ns: time_ns(budget, || {
+                std::hint::black_box(g.border_of(region.iter()));
+            }),
+        });
+        rows.push(BenchRow {
+            name: "connected_components",
+            n,
+            region: k,
+            before_ns: time_ns(budget, || {
+                std::hint::black_box(reference::connected_components(&g, &set));
+            }),
+            after_ns: time_ns(budget, || {
+                std::hint::black_box(connected_components_set(&g, &node_set));
+            }),
+        });
+        rows.push(BenchRow {
+            name: "connected_components_btree_api",
+            n,
+            region: k,
+            before_ns: time_ns(budget, || {
+                std::hint::black_box(reference::connected_components(&g, &set));
+            }),
+            after_ns: time_ns(budget, || {
+                std::hint::black_box(connected_components(&g, &set));
+            }),
+        });
+        rows.push(BenchRow {
+            name: "reachable_within",
+            n,
+            region: k,
+            before_ns: time_ns(budget, || {
+                std::hint::black_box(reference::reachable_within(&g, seed, &set));
+            }),
+            after_ns: time_ns(budget, || {
+                std::hint::black_box(reachable_within_set(&g, seed, &node_set));
+            }),
+        });
+        rows.push(BenchRow {
+            name: "rank_cmp",
+            n,
+            region: k,
+            before_ns: time_ns(budget, || {
+                let ka = reference::border_of(&g, region.iter()).len();
+                let kb = reference::border_of(&g, other.iter()).len();
+                std::hint::black_box(rank_cmp_keyed(&region, ka, &other, kb));
+            }),
+            after_ns: time_ns(budget, || {
+                std::hint::black_box(rank_cmp(&g, &region, &other));
+            }),
+        });
+        // Exercise the BTreeSet-facing API once so the row above cannot
+        // silently diverge from the set it claims to measure.
+        assert_eq!(
+            reachable_within(&g, seed, &set),
+            reachable_within_set(&g, seed, &node_set).to_btree_set()
+        );
+    }
+
+    println!(
+        "{:<34} {:>6} {:>8} {:>14} {:>14} {:>9}",
+        "bench", "n", "region", "before (ns)", "after (ns)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>6} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
+            r.name,
+            r.n,
+            r.region,
+            r.before_ns,
+            r.after_ns,
+            r.speedup()
+        );
+    }
+
+    // Behavioral pin: the figure scenarios must hash identically across
+    // perf refactors (the same scenario set and hashes are asserted
+    // against goldens by crates/bench/tests/trace_golden.rs).
+    let hashes: Vec<(&str, u64)> = pinned_figure_scenarios()
+        .into_iter()
+        .map(|(name, scenario)| (name, trace_hash_of(scenario)))
+        .collect();
+    println!();
+    for (name, hash) in &hashes {
+        println!("trace hash {name}: {hash:#018x}");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-protocol/1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"n\": {}, \"region\": {}, \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.2}}}",
+            r.name, r.n, r.region, r.before_ns, r.after_ns, r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"trace_hashes\": {\n");
+    for (i, (name, hash)) in hashes.iter().enumerate() {
+        let _ = write!(json, "    \"{name}\": \"{hash:#018x}\"");
+        json.push_str(if i + 1 < hashes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

@@ -122,6 +122,55 @@ pub fn simultaneous() -> CrashTiming {
     CrashTiming::Simultaneous(SimTime::from_millis(1))
 }
 
+/// System sizes of the set-algebra micro-benches (`protocol_micro`'s
+/// `set_algebra` group and the `bench_protocol` JSON report share this
+/// workload so their numbers stay comparable).
+pub const SET_ALGEBRA_SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+/// The canonical set-algebra workload at system size `n`: a torus, a
+/// compact blob region, and a thin line region, both of size
+/// `(n/32).clamp(4, 64)`.
+pub fn set_algebra_case(n: usize) -> (Graph, Region, Region) {
+    let g = torus_of(n);
+    let k = (n / 32).clamp(4, 64);
+    let blob = carve_region(&g, RegionShape::Blob, k);
+    let line = carve_region(&g, RegionShape::Line, k);
+    (g, blob, line)
+}
+
+/// The figure scenarios whose simulator trace hashes are pinned: the
+/// `bench_protocol` report records them and
+/// `crates/bench/tests/trace_golden.rs` asserts them against goldens, so
+/// the two artifacts can never silently pin different scenario sets.
+pub fn pinned_figure_scenarios() -> Vec<(&'static str, Scenario)> {
+    use precipice_workload::figures::{figure3_scenario, Figure1, Figure2};
+    use precipice_workload::patterns::CrashTiming;
+
+    let fig1 = Figure1::new();
+    vec![
+        ("fig1a_seed0", fig1.scenario_a(0)),
+        ("fig1a_seed1", fig1.scenario_a(1)),
+        (
+            "fig1b_seed0_delay6ms",
+            fig1.scenario_b(0, SimTime::from_millis(6)),
+        ),
+        (
+            "fig2_k3_size2_seed17",
+            Figure2::new(3, 2).scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1))),
+        ),
+        (
+            "fig3_growth3_delay4ms_seed5",
+            figure3_scenario(6, 3, SimTime::from_millis(4), 5).0,
+        ),
+    ]
+}
+
+/// Runs `scenario` with tracing forced on and returns its trace hash.
+pub fn trace_hash_of(mut scenario: Scenario) -> u64 {
+    scenario.sim.record_trace = true;
+    scenario.run().trace_hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,37 @@
+//! Golden trace hashes for the paper's figure scenarios.
+//!
+//! The simulator is bit-deterministic: a sealed scenario must always
+//! produce the same FNV-1a trace hash, on every platform and after every
+//! refactor of the transport internals. These values were captured before
+//! the `fifo_last` flat-table optimization and pin the schedule exactly —
+//! if one of them moves, a perf change has altered observable behavior.
+//!
+//! The scenario set is shared with the `bench_protocol` report binary
+//! ([`precipice_bench::pinned_figure_scenarios`]), which records the same
+//! hashes into `BENCH_protocol.json`.
+
+use precipice_bench::{pinned_figure_scenarios, trace_hash_of};
+
+const GOLDEN: [(&str, u64); 5] = [
+    ("fig1a_seed0", 0x503e1af1edce1c88),
+    ("fig1a_seed1", 0x35707be0a5ddeea1),
+    ("fig1b_seed0_delay6ms", 0xf9f8f6cbe6d16e46),
+    ("fig2_k3_size2_seed17", 0x781e66bca38f1ec2),
+    ("fig3_growth3_delay4ms_seed5", 0x156eb98711807bd8),
+];
+
+#[test]
+fn figure_scenario_trace_hashes_are_stable() {
+    let scenarios = pinned_figure_scenarios();
+    assert_eq!(scenarios.len(), GOLDEN.len(), "scenario set changed");
+    let mut failures = Vec::new();
+    for ((name, scenario), (want_name, want)) in scenarios.into_iter().zip(GOLDEN) {
+        assert_eq!(name, want_name, "scenario order changed");
+        let got = trace_hash_of(scenario);
+        println!("GOLDEN {name}: {got:#018x}");
+        if got != want {
+            failures.push(format!("{name}: got {got:#018x}, want {want:#018x}"));
+        }
+    }
+    assert!(failures.is_empty(), "trace hashes changed:\n{failures:?}");
+}

@@ -1,6 +1,6 @@
-use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use precipice_graph::NodeId;
+use precipice_graph::{NodeId, NodeSet};
 
 use crate::message::{Message, Opinion, OpinionVector};
 use crate::View;
@@ -8,6 +8,11 @@ use crate::View;
 /// Book-keeping for one superposed consensus instance, indexed by its
 /// proposed view (the `opinions[V][·][·]` and `waiting[V][·]` state of
 /// Algorithm 1, lines 20–22).
+///
+/// Per-participant membership (who are we waiting for, who rejected, who
+/// has a non-`⊥` entry) is tracked in dense [`NodeSet`] bitsets, so the
+/// round guards evaluated after *every* delivery cost O(border/64) word
+/// operations instead of sorted-set scans.
 ///
 /// One clarification over the literal pseudocode:
 /// nodes known to have **rejected** the view are excluded from the wait
@@ -18,13 +23,20 @@ use crate::View;
 #[derive(Debug, Clone)]
 pub(crate) struct Instance<D> {
     view: View,
-    /// `opinions[V][r][·]`, index `r − 1`; absent key = `⊥`.
-    opinions: Vec<OpinionVector<D>>,
+    /// The border as a bitset (the universe of the sets below).
+    border: NodeSet,
+    /// `opinions[V][r][·]`, index `r − 1`; absent key = `⊥`. Each round
+    /// vector is `Arc`-shared with the messages that forward it
+    /// (copy-on-write: a merge after a forward clones once).
+    opinions: Vec<Arc<OpinionVector<D>>>,
+    /// Border nodes with a non-`⊥` entry in `opinions[r]`, index `r − 1`
+    /// (mirror of the vector's key set, for O(1) completeness checks).
+    answered: Vec<NodeSet>,
     /// `waiting[V][r]`, index `r − 1`: border nodes whose round-`r`
     /// message has not arrived.
-    waiting: Vec<BTreeSet<NodeId>>,
+    waiting: Vec<NodeSet>,
     /// Border nodes known (from any received vector) to have rejected.
-    rejectors: BTreeSet<NodeId>,
+    rejectors: NodeSet,
 }
 
 impl<D: Clone> Instance<D> {
@@ -32,11 +44,21 @@ impl<D: Clone> Instance<D> {
     /// (rounds `1 ..= view.total_rounds()`).
     pub fn new(view: View) -> Self {
         let rounds = view.total_rounds() as usize;
-        let full: BTreeSet<NodeId> = view.border().iter().collect();
+        let capacity = view
+            .border()
+            .as_slice()
+            .last()
+            .map_or(0, |max| max.index() + 1);
+        let mut border = NodeSet::with_capacity(capacity);
+        border.extend(view.border().iter());
         Instance {
-            opinions: vec![OpinionVector::new(); rounds],
-            waiting: vec![full; rounds],
-            rejectors: BTreeSet::new(),
+            opinions: (0..rounds)
+                .map(|_| Arc::new(OpinionVector::new()))
+                .collect(),
+            answered: vec![NodeSet::with_capacity(capacity); rounds],
+            waiting: vec![border.clone(); rounds],
+            rejectors: NodeSet::with_capacity(capacity),
+            border,
             view,
         }
     }
@@ -46,8 +68,13 @@ impl<D: Clone> Instance<D> {
         &self.view
     }
 
+    /// Consumes the instance, yielding its view without cloning.
+    pub fn into_view(self) -> View {
+        self.view
+    }
+
     /// Known rejectors of this view.
-    pub fn rejectors(&self) -> &BTreeSet<NodeId> {
+    pub fn rejectors(&self) -> &NodeSet {
         &self.rejectors
     }
 
@@ -76,46 +103,73 @@ impl<D: Clone> Instance<D> {
         let Some(vector) = self.opinions.get_mut(slot) else {
             return;
         };
+        let vector = Arc::make_mut(vector);
+        let answered = &mut self.answered[slot];
         for (&pk, op) in msg.opinions.iter() {
-            vector.entry(pk).or_insert_with(|| op.clone());
+            vector.entry(pk).or_insert_with(|| {
+                if self.border.contains(pk) {
+                    answered.insert(pk);
+                }
+                op.clone()
+            });
         }
         if let Some(w) = self.waiting.get_mut(slot) {
-            w.remove(&from);
+            w.remove(from);
         }
-        self.rejectors.extend(msg.rejectors());
+        // Only border members can reject (they are the only recipients),
+        // and only they matter to the round guards (`waiting ⊆ border`).
+        // Filtering also keeps a malformed id in a received vector from
+        // growing the dense set far beyond the border.
+        let border = &self.border;
+        self.rejectors
+            .extend(msg.rejectors().filter(|r| border.contains(*r)));
     }
 
     /// `true` if round `round` can complete: every border node has either
     /// sent its round-`round` message, is a known rejecter, or is known
     /// crashed (the `waiting[Vp][r] \ locallyCrashed = ∅` guard of line
     /// 32, extended with rejectors per the struct docs).
-    pub fn round_complete(&self, round: u32, locally_crashed: &BTreeSet<NodeId>) -> bool {
+    ///
+    /// Word-parallel: `waiting ∖ crashed ∖ rejectors = ∅` is one pass of
+    /// AND-NOT over the backing words.
+    pub fn round_complete(&self, round: u32, locally_crashed: &NodeSet) -> bool {
         let Some(w) = self.waiting.get((round as usize) - 1) else {
             return false;
         };
-        w.iter()
-            .all(|p| locally_crashed.contains(p) || self.rejectors.contains(p))
+        w.words().iter().enumerate().all(|(i, &word)| {
+            let crashed = locally_crashed.words().get(i).copied().unwrap_or(0);
+            let rejected = self.rejectors.words().get(i).copied().unwrap_or(0);
+            word & !crashed & !rejected == 0
+        })
     }
 
     /// `true` if the round-`round` vector has an entry (no `⊥`) for every
-    /// border node — the footnote-6 early-termination criterion.
+    /// border node — the footnote-6 early-termination criterion. O(1) via
+    /// the `answered` cardinality.
     pub fn vector_complete(&self, round: u32) -> bool {
-        let Some(v) = self.opinions.get((round as usize) - 1) else {
-            return false;
-        };
-        self.view.border().iter().all(|p| v.contains_key(&p))
+        self.answered
+            .get((round as usize) - 1)
+            .is_some_and(|a| a.len() == self.border.len())
     }
 
-    /// The round-`round` opinion vector (for forwarding in the next
-    /// round's multicast).
+    /// The round-`round` opinion vector.
     pub fn vector(&self, round: u32) -> &OpinionVector<D> {
         &self.opinions[(round as usize) - 1]
+    }
+
+    /// The round-`round` opinion vector, `Arc`-shared for forwarding in
+    /// the next round's multicast without a deep copy.
+    pub fn vector_arc(&self, round: u32) -> Arc<OpinionVector<D>> {
+        Arc::clone(&self.opinions[(round as usize) - 1])
     }
 
     /// If the round-`round` vector is all-accept over the full border
     /// (line 34), returns the accepted values in border order.
     pub fn all_accept_values(&self, round: u32) -> Option<Vec<D>> {
-        let vector = self.opinions.get((round as usize) - 1)?;
+        if round == 0 || round as usize > self.opinions.len() {
+            return None;
+        }
+        let vector = self.vector(round);
         let mut values = Vec::with_capacity(self.view.border().len());
         for p in self.view.border().iter() {
             match vector.get(&p) {
@@ -152,7 +206,7 @@ mod tests {
     fn new_instance_waits_for_everyone() {
         let inst: Instance<u32> = Instance::new(star_view());
         assert_eq!(inst.view().total_rounds(), 2);
-        assert!(!inst.round_complete(1, &BTreeSet::new()));
+        assert!(!inst.round_complete(1, &NodeSet::new()));
         assert!(!inst.vector_complete(1));
         assert!(inst.all_accept_values(1).is_none());
     }
@@ -185,11 +239,11 @@ mod tests {
                 &msg(1, &view, initial_accept_vector(NodeId(n), n)),
             );
         }
-        assert!(inst.round_complete(1, &BTreeSet::new()));
+        assert!(inst.round_complete(1, &NodeSet::new()));
         assert!(inst.vector_complete(1));
         assert_eq!(inst.all_accept_values(1), Some(vec![1, 2, 3]));
         // Round 2 untouched.
-        assert!(!inst.round_complete(2, &BTreeSet::new()));
+        assert!(!inst.round_complete(2, &NodeSet::new()));
     }
 
     #[test]
@@ -200,7 +254,7 @@ mod tests {
             NodeId(1),
             &msg(1, &view, initial_accept_vector(NodeId(1), 1)),
         );
-        let crashed: BTreeSet<NodeId> = [NodeId(2), NodeId(3)].into();
+        let crashed: NodeSet = [NodeId(2), NodeId(3)].into_iter().collect();
         assert!(inst.round_complete(1, &crashed));
         // But the all-accept check still fails: 2 and 3 are ⊥.
         assert!(inst.all_accept_values(1).is_none());
@@ -220,11 +274,8 @@ mod tests {
         );
         // n2 rejects (tagged round 1) — it must unblock round 2 as well.
         inst.merge(NodeId(2), &msg(1, &view, rejection_vector(NodeId(2))));
-        assert!(inst.round_complete(1, &BTreeSet::new()));
-        assert_eq!(
-            inst.rejectors().iter().copied().collect::<Vec<_>>(),
-            vec![NodeId(2)]
-        );
+        assert!(inst.round_complete(1, &NodeSet::new()));
+        assert_eq!(inst.rejectors().iter().collect::<Vec<_>>(), vec![NodeId(2)]);
         // Round 2: only 1 and 3 need to speak.
         inst.merge(
             NodeId(1),
@@ -234,7 +285,7 @@ mod tests {
             NodeId(3),
             &msg(2, &view, std::sync::Arc::new(inst.vector(1).clone())),
         );
-        assert!(inst.round_complete(2, &BTreeSet::new()));
+        assert!(inst.round_complete(2, &NodeSet::new()));
         // Reject propagated into round 2 via the forwarded vectors.
         assert!(inst.all_accept_values(2).is_none());
     }
@@ -252,7 +303,26 @@ mod tests {
         inst.merge(NodeId(1), &msg(1, &view, rejection_vector(NodeId(1))));
         assert_eq!(inst.vector(1)[&NodeId(1)], Opinion::Accept(1));
         // ... but the node is still recorded as a rejecter for waiting.
-        assert!(inst.rejectors().contains(&NodeId(1)));
+        assert!(inst.rejectors().contains(NodeId(1)));
+    }
+
+    #[test]
+    fn foreign_opinion_entries_do_not_complete_vectors() {
+        // A vector carrying an entry for a non-border node must not count
+        // toward the completeness cardinality.
+        let view = star_view();
+        let mut inst: Instance<u32> = Instance::new(view.clone());
+        let mut op = OpinionVector::new();
+        op.insert(NodeId(1), Opinion::Accept(1));
+        op.insert(NodeId(2), Opinion::Accept(2));
+        op.insert(NodeId(99), Opinion::Accept(99));
+        inst.merge(NodeId(1), &msg(1, &view, std::sync::Arc::new(op)));
+        assert!(!inst.vector_complete(1));
+        inst.merge(
+            NodeId(3),
+            &msg(1, &view, initial_accept_vector(NodeId(3), 3)),
+        );
+        assert!(inst.vector_complete(1));
     }
 
     #[test]
@@ -266,7 +336,7 @@ mod tests {
             NodeId(1),
             &msg(1, &view, initial_accept_vector(NodeId(1), 5)),
         );
-        assert!(inst.round_complete(1, &BTreeSet::new()));
+        assert!(inst.round_complete(1, &NodeSet::new()));
         assert_eq!(inst.all_accept_values(1), Some(vec![5]));
     }
 }

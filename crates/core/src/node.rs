@@ -2,7 +2,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use precipice_graph::{NodeId, Region, Topology};
+use precipice_graph::{NodeId, NodeSet, Region, Topology};
 
 use crate::instance::Instance;
 use crate::message::{initial_accept_vector, rejection_vector, Message};
@@ -68,6 +68,9 @@ pub struct CliffEdgeNode<T, P: DecisionPolicy> {
     config: ProtocolConfig,
     /// `locallyCrashed`: crashes reported by the failure detector.
     locally_crashed: BTreeSet<NodeId>,
+    /// Dense mirror of `locally_crashed` for the word-parallel round
+    /// guards (kept in lock-step by `on_crash`).
+    crashed_set: NodeSet,
     /// `maxView`: highest-ranked crashed region known (line 10).
     max_view: Option<View>,
     /// `candidateView`: pending proposal, consumed by line 13.
@@ -129,6 +132,7 @@ where
             policy,
             config,
             locally_crashed: BTreeSet::new(),
+            crashed_set: NodeSet::new(),
             max_view: None,
             candidate_view: None,
             proposed: None,
@@ -221,6 +225,7 @@ where
         );
         self.stats.crashes_detected += 1;
         self.locally_crashed.insert(q);
+        self.crashed_set.insert(q);
 
         // Line 7: monitorCrash(border(q) \ locallyCrashed). We also drop
         // ourselves: self-monitoring can never fire.
@@ -235,7 +240,7 @@ where
         }
 
         // Lines 8–11.
-        let components = self.topology.components_of(&self.locally_crashed);
+        let components = self.topology.components_of_set(&self.crashed_set);
         let best = components
             .into_iter()
             .map(|region| View::new(&self.topology, region))
@@ -257,6 +262,8 @@ where
             self.stats.ignored_messages += 1;
             return;
         }
+        // One map traversal per delivery; the entry-key clone is a plain
+        // `Arc` refcount bump (`Region` is `Arc`-backed).
         let stats = &mut self.stats;
         let instance = self
             .received
@@ -293,9 +300,13 @@ where
                     .values()
                     .filter(|inst| inst.view().rank_cmp(vp) == Ordering::Less)
                     .min_by(|a, b| a.view().rank_cmp(b.view()))
-                    .map(|inst| inst.view().clone());
+                    .map(|inst| inst.view().region().clone());
                 if let Some(low) = target {
-                    self.do_reject(&low, actions);
+                    let instance = self
+                        .received
+                        .remove(&low)
+                        .expect("target came from received");
+                    self.do_reject(instance.into_view(), actions);
                     continue;
                 }
             }
@@ -325,7 +336,7 @@ where
             if self.is_active() {
                 let complete = self
                     .active_instance()
-                    .is_some_and(|inst| inst.round_complete(self.round, &self.locally_crashed));
+                    .is_some_and(|inst| inst.round_complete(self.round, &self.crashed_set));
                 if complete {
                     self.complete_round(actions);
                     continue;
@@ -341,26 +352,27 @@ where
         self.received.get(vp.region())
     }
 
-    /// Lines 26–31: reject `low`, notify its border, and ignore it from
-    /// now on.
-    fn do_reject(&mut self, low: &View, actions: &mut Vec<Action<P::Value>>) {
+    /// Lines 26–31: reject `low` (already removed from `received`),
+    /// notify its border, and ignore it from now on.
+    fn do_reject(&mut self, low: View, actions: &mut Vec<Action<P::Value>>) {
         debug_assert!(
             self.current_view
                 .as_ref()
                 .is_some_and(|vp| low.rank_cmp(vp) == Ordering::Less),
             "only strictly lower-ranked views are rejected"
         );
-        self.received.remove(low.region());
-        self.rejected.insert(low.region().clone());
         self.stats.rejects_sent += 1;
+        let (region, border) = low.into_parts();
+        let recipients = border.iter().collect();
+        self.rejected.insert(region.clone());
         let message = Message {
             round: 1,
-            view: low.region().clone(),
-            border: low.border().clone(),
+            view: region,
+            border,
             opinions: rejection_vector(self.me),
         };
         actions.push(Action::Multicast {
-            recipients: low.border().iter().collect(),
+            recipients,
             message,
         });
     }
@@ -439,7 +451,7 @@ where
                 round: r + 1,
                 view: vp.region().clone(),
                 border: vp.border().clone(),
-                opinions: std::sync::Arc::new(instance.vector(r).clone()),
+                opinions: instance.vector_arc(r),
             };
             self.stats.round_messages += 1;
             actions.push(Action::Multicast {
@@ -459,7 +471,7 @@ where
             round: r + 1,
             view: vp.region().clone(),
             border: vp.border().clone(),
-            opinions: std::sync::Arc::new(instance.vector(r).clone()),
+            opinions: instance.vector_arc(r),
         };
         actions.push(Action::Multicast {
             recipients: vp.border().iter().collect(),

@@ -33,8 +33,13 @@ pub struct View {
 
 impl View {
     /// Builds the view for `region`, deriving its border from `topology`.
+    ///
+    /// For [`Graph`](precipice_graph::Graph)-backed topologies the border
+    /// comes out of the graph's shared region-border memo, so every node
+    /// building a view for the same region pays for one bitset border
+    /// computation system-wide.
     pub fn new<T: Topology>(topology: &T, region: Region) -> Self {
-        let border = topology.border_of_region(&region).into_iter().collect();
+        let border = topology.border_region(&region);
         View { region, border }
     }
 
@@ -51,6 +56,11 @@ impl View {
     /// The crashed region this view claims.
     pub fn region(&self) -> &Region {
         &self.region
+    }
+
+    /// Consumes the view, yielding `(region, border)` without cloning.
+    pub fn into_parts(self) -> (Region, Region) {
+        (self.region, self.border)
     }
 
     /// The border of the region — the instance's participants.

@@ -1,6 +1,115 @@
+//! Reachability and connected components over induced subgraphs.
+//!
+//! Two implementations live here. The **bitset path** (everything public
+//! except [`reference`]) runs breadth-first search word-parallel over the
+//! graph's neighbor-mask table: each frontier expansion is
+//! `mask(p) & set & !seen` per word, so a whole 64-node block is examined
+//! in three ALU ops. The **[`reference`] module** retains the original
+//! `BTreeSet` implementations verbatim; they are the executable
+//! specification that the differential property tests in
+//! `tests/properties.rs` compare against byte-for-byte.
+
 use std::collections::BTreeSet;
 
-use crate::{Graph, NodeId, Region};
+use crate::{Graph, NodeId, NodeSet, Region};
+
+/// Reusable scratch state for repeated BFS queries: the `seen` bitset and
+/// the frontier stack survive across calls, so a query sequence (for
+/// example the component peeling loop of [`connected_components_set`])
+/// allocates once.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    seen: NodeSet,
+    frontier: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Fresh scratch, pre-sized for graphs of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        BfsScratch {
+            seen: NodeSet::with_capacity(n),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// The nodes reached by the most recent query.
+    pub fn seen(&self) -> &NodeSet {
+        &self.seen
+    }
+
+    /// Runs the BFS of [`reachable_within_set`] into this scratch,
+    /// leaving the result in [`seen`](Self::seen).
+    pub fn reach(&mut self, g: &Graph, start: NodeId, set: &NodeSet) {
+        let words = g.mask_words();
+        let seen_words = self.seen.words_mut();
+        seen_words.clear();
+        seen_words.resize(words, 0);
+        self.frontier.clear();
+        if !set.contains(start) {
+            self.seen.recount();
+            return;
+        }
+        self.seen.insert(start);
+        self.frontier.push(start);
+        let set_words = set.words();
+        while let Some(p) = self.frontier.pop() {
+            let seen_words = self.seen.words_mut();
+            // Hybrid expansion: a whole mask row costs ⌈n/64⌉ word ops
+            // and examines 64 candidates per op — worth it only when the
+            // node's degree exceeds the row length. Sparse nodes instead
+            // probe each neighbor with O(1) bit tests.
+            if g.degree(p) >= words {
+                let row = g.neighbor_mask(p);
+                for (i, &m) in row.iter().enumerate() {
+                    let set_word = set_words.get(i).copied().unwrap_or(0);
+                    let mut fresh = m & set_word & !seen_words[i];
+                    if fresh == 0 {
+                        continue;
+                    }
+                    seen_words[i] |= fresh;
+                    while fresh != 0 {
+                        let bit = fresh.trailing_zeros() as usize;
+                        fresh &= fresh - 1;
+                        self.frontier.push(NodeId::from_index(i * 64 + bit));
+                    }
+                }
+            } else {
+                for &q in g.neighbors(p) {
+                    let (wi, bit) = (q.index() / 64, 1u64 << (q.index() % 64));
+                    if set_words.get(wi).copied().unwrap_or(0) & bit != 0
+                        && seen_words[wi] & bit == 0
+                    {
+                        seen_words[wi] |= bit;
+                        self.frontier.push(q);
+                    }
+                }
+            }
+        }
+        self.seen.recount();
+    }
+}
+
+/// Bitset form of [`reachable_within`]: nodes of `set` reachable from
+/// `start` through edges of `g` whose both endpoints lie in `set`.
+///
+/// Returns the empty set if `start ∉ set`.
+///
+/// # Example
+///
+/// ```
+/// use precipice_graph::{reachable_within_set, Graph, NodeId, NodeSet};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let set: NodeSet = [NodeId(0), NodeId(1), NodeId(3)].into_iter().collect();
+/// let reached = reachable_within_set(&g, NodeId(0), &set);
+/// // n3 is in the set but unreachable without n2.
+/// assert_eq!(reached.iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(1)]);
+/// ```
+pub fn reachable_within_set(g: &Graph, start: NodeId, set: &NodeSet) -> NodeSet {
+    let mut scratch = BfsScratch::with_capacity(g.len());
+    scratch.reach(g, start, set);
+    scratch.seen
+}
 
 /// Nodes of `set` reachable from `start` through edges of `g` whose both
 /// endpoints lie in `set` (breadth-first).
@@ -20,20 +129,25 @@ use crate::{Graph, NodeId, Region};
 /// assert_eq!(reached, [NodeId(0), NodeId(1)].into());
 /// ```
 pub fn reachable_within(g: &Graph, start: NodeId, set: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
-    let mut seen = BTreeSet::new();
-    if !set.contains(&start) {
-        return seen;
+    reachable_within_set(g, start, &NodeSet::from(set)).to_btree_set()
+}
+
+/// Bitset form of [`connected_components`]: the maximal regions of `set`,
+/// in increasing order of their smallest node.
+///
+/// One scratch bitset and one frontier stack are reused across all
+/// components; each peel is a word-parallel BFS followed by a
+/// word-parallel subtraction from the remainder.
+pub fn connected_components_set(g: &Graph, set: &NodeSet) -> Vec<Region> {
+    let mut remaining = set.clone();
+    let mut scratch = BfsScratch::with_capacity(g.len());
+    let mut components = Vec::new();
+    while let Some(seed) = remaining.min() {
+        scratch.reach(g, seed, &remaining);
+        remaining.difference_with(&scratch.seen);
+        components.push(scratch.seen.to_region());
     }
-    let mut frontier = vec![start];
-    seen.insert(start);
-    while let Some(p) = frontier.pop() {
-        for &q in g.neighbors(p) {
-            if set.contains(&q) && seen.insert(q) {
-                frontier.push(q);
-            }
-        }
-    }
-    seen
+    components
 }
 
 /// The paper's `connectedComponents(S)` (§3.1): the maximal regions of `S`,
@@ -54,16 +168,7 @@ pub fn reachable_within(g: &Graph, start: NodeId, set: &BTreeSet<NodeId>) -> BTr
 /// assert_eq!(comps[1], Region::from_iter([NodeId(4)]));
 /// ```
 pub fn connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<Region> {
-    let mut remaining: BTreeSet<NodeId> = set.clone();
-    let mut components = Vec::new();
-    while let Some(&seed) = remaining.iter().next() {
-        let comp = reachable_within(g, seed, &remaining);
-        for p in &comp {
-            remaining.remove(p);
-        }
-        components.push(comp.into_iter().collect());
-    }
-    components
+    connected_components_set(g, &NodeSet::from(set))
 }
 
 /// `true` if `region` is a *region* of `g` in the paper's sense: a
@@ -83,8 +188,72 @@ pub fn is_connected_subset(g: &Graph, region: &Region) -> bool {
     let Some(seed) = region.iter().next() else {
         return false;
     };
-    let set: BTreeSet<NodeId> = region.iter().collect();
-    reachable_within(g, seed, &set).len() == region.len()
+    reachable_within_set(g, seed, &NodeSet::from(region)).len() == region.len()
+}
+
+pub mod reference {
+    //! The original `BTreeSet`-based implementations, retained verbatim as
+    //! the executable specification for the bitset path.
+    //!
+    //! Differential property tests (`tests/properties.rs`) assert the
+    //! optimized implementations match these byte-for-byte on random
+    //! graphs and subsets; the perf report binary
+    //! (`precipice-bench`'s `bench_protocol`) measures both to produce
+    //! before/after numbers. Protocol code should never call these.
+
+    use std::collections::BTreeSet;
+
+    use crate::{Graph, NodeId, Region};
+
+    /// Reference implementation of [`reachable_within`](crate::reachable_within).
+    pub fn reachable_within(g: &Graph, start: NodeId, set: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        if !set.contains(&start) {
+            return seen;
+        }
+        let mut frontier = vec![start];
+        seen.insert(start);
+        while let Some(p) = frontier.pop() {
+            for &q in g.neighbors(p) {
+                if set.contains(&q) && seen.insert(q) {
+                    frontier.push(q);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reference implementation of
+    /// [`connected_components`](crate::connected_components).
+    pub fn connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<Region> {
+        let mut remaining: BTreeSet<NodeId> = set.clone();
+        let mut components = Vec::new();
+        while let Some(&seed) = remaining.iter().next() {
+            let comp = reachable_within(g, seed, &remaining);
+            for p in &comp {
+                remaining.remove(p);
+            }
+            components.push(comp.into_iter().collect());
+        }
+        components
+    }
+
+    /// Reference implementation of [`Graph::border_of`].
+    pub fn border_of<I>(g: &Graph, set: I) -> Vec<NodeId>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let members: BTreeSet<NodeId> = set.into_iter().collect();
+        let mut border = BTreeSet::new();
+        for &p in &members {
+            for &q in g.neighbors(p) {
+                if !members.contains(&q) {
+                    border.insert(q);
+                }
+            }
+        }
+        border.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +332,48 @@ mod tests {
         let reached = reachable_within(&g, NodeId(0), &set(&[0, 2, 3]));
         assert_eq!(reached, set(&[0]));
         assert!(reachable_within(&g, NodeId(1), &set(&[0])).is_empty());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_queries() {
+        let g = ring(8);
+        let mut scratch = BfsScratch::with_capacity(g.len());
+        let a: NodeSet = [NodeId(0), NodeId(1)].into_iter().collect();
+        scratch.reach(&g, NodeId(0), &a);
+        assert_eq!(scratch.seen().len(), 2);
+        let b: NodeSet = [NodeId(4)].into_iter().collect();
+        scratch.reach(&g, NodeId(4), &b);
+        assert_eq!(scratch.seen().iter().collect::<Vec<_>>(), vec![NodeId(4)]);
+        scratch.reach(&g, NodeId(0), &b);
+        assert!(scratch.seen().is_empty());
+    }
+
+    #[test]
+    fn bitset_matches_reference_on_fixed_cases() {
+        let g = grid(GridDims {
+            width: 5,
+            height: 5,
+        });
+        for s in [
+            set(&[]),
+            set(&[3]),
+            set(&[0, 1, 2, 5, 6, 20, 24]),
+            (0..25u32).map(NodeId).collect(),
+        ] {
+            assert_eq!(
+                connected_components(&g, &s),
+                reference::connected_components(&g, &s)
+            );
+            assert_eq!(
+                g.border_of(s.iter().copied()),
+                reference::border_of(&g, s.iter().copied())
+            );
+            for &p in &s {
+                assert_eq!(
+                    reachable_within(&g, p, &s),
+                    reference::reachable_within(&g, p, &s)
+                );
+            }
+        }
     }
 }

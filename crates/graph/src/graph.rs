@@ -1,7 +1,14 @@
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
-use crate::NodeId;
+use crate::nodeset::words_for;
+use crate::{NodeId, NodeSet, Region};
+
+/// Keep the border memo bounded: protocol churn can mint an unbounded
+/// stream of distinct candidate regions, and the cache must never become
+/// the memory hot spot it exists to remove.
+const BORDER_CACHE_CAP: usize = 1 << 16;
 
 /// Finite undirected knowledge graph `G = (Π, E)` (paper §2.2).
 ///
@@ -12,7 +19,18 @@ use crate::NodeId;
 /// crashed nodes", §2.2).
 ///
 /// Nodes are the dense range `NodeId(0)..NodeId(n)`. Adjacency lists are
-/// kept sorted, enabling deterministic iteration everywhere.
+/// kept sorted, enabling deterministic iteration everywhere. Alongside
+/// the sorted lists the graph keeps a dense per-node neighbor *bitmask*
+/// table (one `⌈n/64⌉`-word row per node), which turns set-level border
+/// queries into a handful of OR/AND-NOT word operations — see
+/// [`border_into`](Graph::border_into).
+///
+/// Borders of [`Region`]s are additionally memoized in a shared,
+/// thread-safe cache ([`border_of_region_cached`](Graph::border_of_region_cached)):
+/// every border node of the same crashed region derives the identical
+/// border, so one computation serves the whole instance. The cache is
+/// keyed by region and implicitly by topology (it lives inside the
+/// graph), is shared across clones, and is ignored by `Eq`.
 ///
 /// # Example
 ///
@@ -25,12 +43,31 @@ use crate::NodeId;
 /// assert!(g.has_edge(NodeId(0), NodeId(1)));
 /// assert!(!g.has_edge(NodeId(0), NodeId(2)));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     adj: Vec<Vec<NodeId>>,
+    /// Flat neighbor bitmask table: row `p` is
+    /// `masks[p*mask_words .. (p+1)*mask_words]`, bit `q` set iff
+    /// `(p, q) ∈ E`.
+    masks: Vec<u64>,
+    /// Words per mask row (`⌈n/64⌉`).
+    mask_words: usize,
     labels: Option<Vec<String>>,
     edge_count: usize,
+    /// Region-border memo, shared across clones (same immutable topology,
+    /// same borders).
+    borders: Arc<RwLock<HashMap<Region, Region>>>,
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // The mask table is derived from `adj`; the border cache is a
+        // memo. Neither carries independent information.
+        self.adj == other.adj && self.labels == other.labels
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Builds a graph with `n` nodes from an edge list.
@@ -80,6 +117,23 @@ impl Graph {
         &self.adj[p.index()]
     }
 
+    /// The neighbours of `p` as a dense bitmask row (`mask_words` words,
+    /// bit `q` set iff `(p, q) ∈ E`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a node of this graph.
+    #[inline]
+    pub fn neighbor_mask(&self, p: NodeId) -> &[u64] {
+        assert!(self.contains(p), "no such node {p}");
+        &self.masks[p.index() * self.mask_words..(p.index() + 1) * self.mask_words]
+    }
+
+    /// Words per neighbor-mask row (`⌈n/64⌉`).
+    pub fn mask_words(&self) -> usize {
+        self.mask_words
+    }
+
     /// Degree of `p` (`|border(p)|`).
     ///
     /// # Panics
@@ -91,7 +145,10 @@ impl Graph {
 
     /// `true` if `p` and `q` are adjacent.
     pub fn has_edge(&self, p: NodeId, q: NodeId) -> bool {
-        self.contains(p) && self.contains(q) && self.adj[p.index()].binary_search(&q).is_ok()
+        self.contains(p)
+            && self.contains(q)
+            && self.masks[p.index() * self.mask_words + q.index() / 64] & (1 << (q.index() % 64))
+                != 0
     }
 
     /// Iterates over all node ids in increasing order.
@@ -108,6 +165,48 @@ impl Graph {
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
         })
+    }
+
+    /// Writes `border(members)` into `out` (cleared first): the union of
+    /// the members' neighbor masks, minus the members themselves. This is
+    /// the word-parallel kernel every border query funnels through —
+    /// `|S| + 1` passes of OR/AND-NOT over `⌈n/64⌉`-word rows, no
+    /// allocation beyond `out`'s backing words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is not a node of this graph.
+    pub fn border_into(&self, members: &NodeSet, out: &mut NodeSet) {
+        let words = self.mask_words;
+        let out_words = out.words_mut();
+        out_words.clear();
+        out_words.resize(words, 0);
+        for p in members.iter() {
+            assert!(p.index() < self.adj.len(), "no such node {p}");
+            // Hybrid: OR the precomputed row when the degree justifies a
+            // full ⌈n/64⌉-word pass, otherwise set per-neighbor bits.
+            if self.adj[p.index()].len() >= words {
+                let row = &self.masks[p.index() * words..(p.index() + 1) * words];
+                for (o, &m) in out_words.iter_mut().zip(row) {
+                    *o |= m;
+                }
+            } else {
+                for q in &self.adj[p.index()] {
+                    out_words[q.index() / 64] |= 1 << (q.index() % 64);
+                }
+            }
+        }
+        for (o, &m) in out_words.iter_mut().zip(members.words()) {
+            *o &= !m;
+        }
+        out.recount();
+    }
+
+    /// `border(members)` as a fresh [`NodeSet`].
+    pub fn border_set(&self, members: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::with_capacity(self.len());
+        self.border_into(members, &mut out);
+        out
     }
 
     /// The border of a node *set* `S` (paper §2.2):
@@ -127,16 +226,47 @@ impl Graph {
     where
         I: IntoIterator<Item = NodeId>,
     {
-        let members: BTreeSet<NodeId> = set.into_iter().collect();
-        let mut border = BTreeSet::new();
-        for &p in &members {
-            for &q in self.neighbors(p) {
-                if !members.contains(&q) {
-                    border.insert(q);
-                }
-            }
+        let mut members = NodeSet::with_capacity(self.len());
+        members.extend(set);
+        self.border_set(&members).iter().collect()
+    }
+
+    /// The border of a [`Region`], memoized.
+    ///
+    /// Every node bordering the same crashed region derives the identical
+    /// border (the border is a pure function of region and topology), so
+    /// the memo is shared across all [`Graph`] clones and `Arc` handles:
+    /// one bitset computation serves every `View::new` and every ranking
+    /// comparison that sees the region. The returned `Region` is
+    /// `Arc`-shared with the cache entry — repeated hits are zero-copy.
+    pub fn border_of_region_cached(&self, region: &Region) -> Region {
+        if let Some(hit) = self
+            .borders
+            .read()
+            .expect("border cache poisoned")
+            .get(region)
+        {
+            return hit.clone();
         }
-        border.into_iter().collect()
+        let computed = self.border_set(&NodeSet::from(region)).to_region();
+        let mut cache = self.borders.write().expect("border cache poisoned");
+        if cache.len() >= BORDER_CACHE_CAP {
+            cache.clear();
+        }
+        cache
+            .entry(region.clone())
+            .or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// `|border(region)|`, via the border memo.
+    pub fn border_size_of(&self, region: &Region) -> usize {
+        self.border_of_region_cached(region).len()
+    }
+
+    /// Number of memoized region borders (diagnostics).
+    pub fn border_cache_len(&self) -> usize {
+        self.borders.read().expect("border cache poisoned").len()
     }
 
     /// Optional human-readable label of `p` (used by named topologies such
@@ -167,8 +297,9 @@ impl Graph {
         if self.adj.is_empty() {
             return true;
         }
-        let all: BTreeSet<NodeId> = self.nodes().collect();
-        crate::reachable_within(self, NodeId(0), &all).len() == self.len()
+        let mut all = NodeSet::with_capacity(self.len());
+        all.extend(self.nodes());
+        crate::components::reachable_within_set(self, NodeId(0), &all).len() == self.len()
     }
 }
 
@@ -263,18 +394,31 @@ impl GraphBuilder {
         self.add_edge(u, v)
     }
 
-    /// Finalizes the graph.
+    /// Finalizes the graph, precomputing the neighbor bitmask table.
     pub fn build(self) -> Graph {
+        let n = self.adj.len();
+        let mask_words = words_for(n);
+        let mut masks = vec![0u64; n * mask_words];
         let adj: Vec<Vec<NodeId>> = self
             .adj
             .into_iter()
-            .map(|s| s.into_iter().collect())
+            .enumerate()
+            .map(|(p, s)| {
+                let row = &mut masks[p * mask_words..(p + 1) * mask_words];
+                for q in &s {
+                    row[q.index() / 64] |= 1 << (q.index() % 64);
+                }
+                s.into_iter().collect()
+            })
             .collect();
         let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
         Graph {
             adj,
+            masks,
+            mask_words,
             labels: self.labels,
             edge_count,
+            borders: Arc::new(RwLock::new(HashMap::new())),
         }
     }
 }
@@ -304,6 +448,20 @@ mod tests {
     }
 
     #[test]
+    fn masks_mirror_adjacency() {
+        let g = Graph::from_edges(70, [(0, 1), (1, 69), (69, 0), (5, 64)]);
+        assert_eq!(g.mask_words(), 2);
+        for p in g.nodes() {
+            let row = g.neighbor_mask(p);
+            let from_mask: Vec<NodeId> = (0..g.len())
+                .filter(|&q| row[q / 64] & (1 << (q % 64)) != 0)
+                .map(NodeId::from_index)
+                .collect();
+            assert_eq!(from_mask, g.neighbors(p).to_vec(), "mask row of {p}");
+        }
+    }
+
+    #[test]
     fn border_of_set_excludes_members() {
         let g = path4();
         assert_eq!(
@@ -324,6 +482,33 @@ mod tests {
             g.border_of([NodeId(1), NodeId(1)]),
             vec![NodeId(0), NodeId(2)]
         );
+    }
+
+    #[test]
+    fn border_cache_hits_and_is_shared() {
+        let g = path4();
+        let region: Region = [NodeId(1), NodeId(2)].into_iter().collect();
+        let expected: Region = [NodeId(0), NodeId(3)].into_iter().collect();
+        assert_eq!(g.border_of_region_cached(&region), expected);
+        assert_eq!(g.border_cache_len(), 1);
+        // Clones and repeated queries share the memo.
+        let clone = g.clone();
+        assert_eq!(clone.border_of_region_cached(&region), expected);
+        assert_eq!(clone.border_cache_len(), 1);
+        assert_eq!(g.border_size_of(&region), 2);
+        assert_eq!(g.border_cache_len(), 1);
+    }
+
+    #[test]
+    fn border_into_reuses_scratch() {
+        let g = path4();
+        let mut out = NodeSet::new();
+        let members: NodeSet = [NodeId(0)].into_iter().collect();
+        g.border_into(&members, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+        let members2: NodeSet = [NodeId(2), NodeId(3)].into_iter().collect();
+        g.border_into(&members2, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![NodeId(1)]);
     }
 
     #[test]
@@ -367,5 +552,11 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such node")]
+    fn border_of_out_of_range_member_panics() {
+        let _ = path4().border_of([NodeId(9)]);
     }
 }

@@ -13,6 +13,15 @@
 //! - the strict total **ranking** `≻` between regions used by the
 //!   arbitration mechanism ([`rank_cmp`], [`max_ranked_region`]).
 //!
+//! All of the set algebra runs on a dense word-array bitset, [`NodeSet`]:
+//! the graph precomputes a per-node neighbor bitmask table so borders are
+//! a few OR/AND-NOT word operations ([`Graph::border_into`]), BFS is
+//! word-parallel ([`reachable_within_set`], [`connected_components_set`]),
+//! and region borders are memoized across the whole system
+//! ([`Graph::border_of_region_cached`]). The original `BTreeSet`
+//! implementations are retained in [`reference`] as the executable
+//! specification for the differential property tests.
+//!
 //! The crate also provides the topology *generators* used by the
 //! experiment workloads (rings, grids, tori, random geometric graphs,
 //! Erdős–Rényi, Barabási–Albert, Watts–Strogatz, trees) and a small
@@ -34,16 +43,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-mod components;
+pub(crate) mod components;
 mod dot;
 mod generators;
 mod graph;
 mod node;
+mod nodeset;
 mod rank;
 mod region;
 mod topology;
 
-pub use components::{connected_components, is_connected_subset, reachable_within};
+pub use components::{
+    connected_components, connected_components_set, is_connected_subset, reachable_within,
+    reachable_within_set, reference, BfsScratch,
+};
 pub use dot::to_dot;
 pub use generators::{
     barabasi_albert, complete, erdos_renyi_connected, grid, path, random_geometric_connected,
@@ -51,6 +64,7 @@ pub use generators::{
 };
 pub use graph::{Graph, GraphBuilder};
 pub use node::NodeId;
+pub use nodeset::NodeSet;
 pub use rank::{max_ranked_region, rank_cmp, rank_cmp_keyed, RankKey};
 pub use region::Region;
 pub use topology::Topology;

@@ -28,7 +28,9 @@ use crate::{Graph, Region};
 /// assert_eq!(rank_cmp(&g, &big, &small), Ordering::Greater);
 /// ```
 pub fn rank_cmp(g: &Graph, a: &Region, b: &Region) -> Ordering {
-    RankKey::new(g, a.clone()).cmp(&RankKey::new(g, b.clone()))
+    // Border sizes come from the graph's region-border memo, so repeated
+    // comparisons against the same regions never recompute a border.
+    rank_cmp_keyed(a, g.border_size_of(a), b, g.border_size_of(b))
 }
 
 /// Like [`rank_cmp`] but with the border sizes already known, avoiding the
@@ -67,9 +69,10 @@ pub struct RankKey {
 }
 
 impl RankKey {
-    /// Computes the key for `region` on graph `g`.
+    /// Computes the key for `region` on graph `g` (border size via the
+    /// graph's border memo).
     pub fn new(g: &Graph, region: Region) -> Self {
-        let border_size = g.border_of(region.iter()).len();
+        let border_size = g.border_size_of(&region);
         RankKey {
             size: region.len(),
             border_size,

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use crate::{Graph, NodeId, Region};
+use crate::{Graph, NodeId, NodeSet, Region};
 
 /// On-demand access to the knowledge graph `G` — the paper's "underlying
 /// topology service" (§2.2).
@@ -12,6 +12,12 @@ use crate::{Graph, NodeId, Region};
 /// against a shared in-memory [`Graph`] (simulator), an `Arc<Graph>` handed
 /// to every node thread (live backend), or any future distributed lookup
 /// service.
+///
+/// The provided methods have generic `neighbors_of`-based defaults so any
+/// lookup service works out of the box; [`Graph`] and `Arc<Graph>`
+/// override them with the word-parallel bitset kernels and the shared
+/// border memo (see [`Graph::border_into`] and
+/// [`Graph::border_of_region_cached`]).
 ///
 /// # Example
 ///
@@ -54,6 +60,15 @@ pub trait Topology {
         self.border_of_set(&region.iter().collect())
     }
 
+    /// The border of a [`Region`], as a [`Region`].
+    ///
+    /// This is the form protocol code wants (views carry their border as
+    /// a region); [`Graph`] overrides it to return the `Arc`-shared memo
+    /// entry, so repeated queries for the same region are zero-copy.
+    fn border_region(&self, region: &Region) -> Region {
+        self.border_of_region(region).into_iter().collect()
+    }
+
     /// Connected components of the subgraph induced by `set`, mirroring
     /// [`connected_components`](crate::connected_components).
     fn components_of(&self, set: &BTreeSet<NodeId>) -> Vec<Region> {
@@ -77,6 +92,11 @@ pub trait Topology {
         }
         out
     }
+
+    /// Connected components of the subgraph induced by a [`NodeSet`].
+    fn components_of_set(&self, set: &NodeSet) -> Vec<Region> {
+        self.components_of(&set.to_btree_set())
+    }
 }
 
 impl Topology for Graph {
@@ -86,6 +106,26 @@ impl Topology for Graph {
 
     fn node_count(&self) -> usize {
         self.len()
+    }
+
+    fn border_of_set(&self, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+        self.border_of(set.iter().copied())
+    }
+
+    fn border_of_region(&self, region: &Region) -> Vec<NodeId> {
+        self.border_of_region_cached(region).iter().collect()
+    }
+
+    fn border_region(&self, region: &Region) -> Region {
+        self.border_of_region_cached(region)
+    }
+
+    fn components_of(&self, set: &BTreeSet<NodeId>) -> Vec<Region> {
+        crate::connected_components(self, set)
+    }
+
+    fn components_of_set(&self, set: &NodeSet) -> Vec<Region> {
+        crate::connected_components_set(self, set)
     }
 }
 
@@ -97,6 +137,26 @@ impl Topology for Arc<Graph> {
     fn node_count(&self) -> usize {
         self.as_ref().node_count()
     }
+
+    fn border_of_set(&self, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+        self.as_ref().border_of_set(set)
+    }
+
+    fn border_of_region(&self, region: &Region) -> Vec<NodeId> {
+        self.as_ref().border_of_region(region)
+    }
+
+    fn border_region(&self, region: &Region) -> Region {
+        self.as_ref().border_region(region)
+    }
+
+    fn components_of(&self, set: &BTreeSet<NodeId>) -> Vec<Region> {
+        self.as_ref().components_of(set)
+    }
+
+    fn components_of_set(&self, set: &NodeSet) -> Vec<Region> {
+        self.as_ref().components_of_set(set)
+    }
 }
 
 impl<T: Topology + ?Sized> Topology for &T {
@@ -106,6 +166,26 @@ impl<T: Topology + ?Sized> Topology for &T {
 
     fn node_count(&self) -> usize {
         (**self).node_count()
+    }
+
+    fn border_of_set(&self, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+        (**self).border_of_set(set)
+    }
+
+    fn border_of_region(&self, region: &Region) -> Vec<NodeId> {
+        (**self).border_of_region(region)
+    }
+
+    fn border_region(&self, region: &Region) -> Region {
+        (**self).border_region(region)
+    }
+
+    fn components_of(&self, set: &BTreeSet<NodeId>) -> Vec<Region> {
+        (**self).components_of(set)
+    }
+
+    fn components_of_set(&self, set: &NodeSet) -> Vec<Region> {
+        (**self).components_of_set(set)
     }
 }
 
@@ -118,11 +198,27 @@ mod tests {
         ids.iter().map(|&i| NodeId(i)).collect()
     }
 
+    /// A deliberately naive topology that only knows `neighbors_of`, to
+    /// exercise the generic defaults.
+    struct NeighborOnly(Graph);
+
+    impl Topology for NeighborOnly {
+        fn neighbors_of(&self, p: NodeId) -> Vec<NodeId> {
+            self.0.neighbors(p).to_vec()
+        }
+        fn node_count(&self) -> usize {
+            self.0.len()
+        }
+    }
+
     #[test]
     fn trait_border_matches_inherent() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
         let s = set(&[1, 2]);
         assert_eq!(g.border_of_set(&s), g.border_of(s.iter().copied()));
+        // The generic default agrees with the bitset override.
+        let naive = NeighborOnly(g.clone());
+        assert_eq!(naive.border_of_set(&s), g.border_of_set(&s));
     }
 
     #[test]
@@ -130,6 +226,11 @@ mod tests {
         let g = Graph::from_edges(6, [(0, 1), (2, 3), (4, 5), (1, 2)]);
         let s = set(&[0, 1, 3, 5]);
         assert_eq!(g.components_of(&s), connected_components(&g, &s));
+        let naive = NeighborOnly(g.clone());
+        assert_eq!(naive.components_of(&s), g.components_of(&s));
+        let ns = NodeSet::from(&s);
+        assert_eq!(g.components_of_set(&ns), g.components_of(&s));
+        assert_eq!(naive.components_of_set(&ns), g.components_of(&s));
     }
 
     #[test]
@@ -147,5 +248,9 @@ mod tests {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
         let region: Region = [NodeId(2), NodeId(3)].into_iter().collect();
         assert_eq!(g.border_of_region(&region), vec![NodeId(1), NodeId(4)]);
+        let expected: Region = [NodeId(1), NodeId(4)].into_iter().collect();
+        assert_eq!(g.border_region(&region), expected);
+        let naive = NeighborOnly(g.clone());
+        assert_eq!(naive.border_region(&region), expected);
     }
 }

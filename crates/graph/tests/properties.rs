@@ -12,8 +12,9 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use precipice_graph::{
-    connected_components, is_connected_subset, max_ranked_region, random_tree, rank_cmp, ring,
-    torus, Graph, GridDims, NodeId, Region,
+    connected_components, connected_components_set, is_connected_subset, max_ranked_region,
+    random_tree, rank_cmp, reachable_within, reachable_within_set, reference, ring, torus, Graph,
+    GridDims, NodeId, NodeSet, Region,
 };
 
 /// An arbitrary connected graph: random tree plus random extra edges.
@@ -137,6 +138,101 @@ proptest! {
         for r in &regions {
             prop_assert_ne!(rank_cmp(&g, r, &best), Ordering::Greater);
         }
+    }
+
+    /// Differential: the bitset implementations must match the retained
+    /// `BTreeSet` reference implementations byte-for-byte — same
+    /// components in the same order, same sorted borders, same reach
+    /// sets — on arbitrary graphs and subsets.
+    #[test]
+    fn bitset_algorithms_match_reference(
+        (g, set) in arb_graph().prop_flat_map(|g| {
+            let n = g.len();
+            (Just(g), arb_subset(n))
+        })
+    ) {
+        prop_assert_eq!(
+            connected_components(&g, &set),
+            reference::connected_components(&g, &set)
+        );
+        let ns = NodeSet::from(&set);
+        prop_assert_eq!(
+            connected_components_set(&g, &ns),
+            reference::connected_components(&g, &set)
+        );
+        prop_assert_eq!(
+            g.border_of(set.iter().copied()),
+            reference::border_of(&g, set.iter().copied())
+        );
+        let region: Region = set.iter().copied().collect();
+        prop_assert_eq!(
+            g.border_of_region_cached(&region).as_slice().to_vec(),
+            reference::border_of(&g, set.iter().copied())
+        );
+        for &start in &set {
+            prop_assert_eq!(
+                reachable_within(&g, start, &set),
+                reference::reachable_within(&g, start, &set)
+            );
+            prop_assert_eq!(
+                reachable_within_set(&g, start, &ns).to_btree_set(),
+                reference::reachable_within(&g, start, &set)
+            );
+        }
+        // A start outside the set reaches nothing, both ways.
+        if let Some(outside) = g.nodes().find(|p| !set.contains(p)) {
+            prop_assert!(reachable_within(&g, outside, &set).is_empty());
+            prop_assert!(reachable_within_set(&g, outside, &ns).is_empty());
+        }
+    }
+
+    /// NodeSet is a faithful set: against a `BTreeSet` model, an
+    /// arbitrary interleaving of inserts and removes leaves both with the
+    /// same members, cardinality, and iteration order.
+    #[test]
+    fn nodeset_matches_btreeset_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..300), 0..120)
+    ) {
+        let mut model = BTreeSet::new();
+        let mut set = NodeSet::new();
+        for (insert, id) in ops {
+            let p = NodeId(id);
+            if insert {
+                prop_assert_eq!(set.insert(p), model.insert(p));
+            } else {
+                prop_assert_eq!(set.remove(p), model.remove(&p));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(),
+                        model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(set.min(), model.first().copied());
+        for id in 0..300u32 {
+            prop_assert_eq!(set.contains(NodeId(id)), model.contains(&NodeId(id)));
+        }
+    }
+
+    /// NodeSet bulk word operations agree with element-wise set algebra.
+    #[test]
+    fn nodeset_bulk_ops_match_setwise(
+        ids_a in proptest::collection::btree_set(0u32..200, 0..40),
+        ids_b in proptest::collection::btree_set(0u32..200, 0..40)
+    ) {
+        let a: BTreeSet<NodeId> = ids_a.iter().map(|&i| NodeId(i)).collect();
+        let b: BTreeSet<NodeId> = ids_b.iter().map(|&i| NodeId(i)).collect();
+        let (na, nb) = (NodeSet::from(&a), NodeSet::from(&b));
+
+        let mut u = na.clone();
+        u.union_with(&nb);
+        prop_assert_eq!(u.to_btree_set(), a.union(&b).copied().collect::<BTreeSet<_>>());
+        let mut i = na.clone();
+        i.intersect_with(&nb);
+        prop_assert_eq!(i.to_btree_set(), a.intersection(&b).copied().collect::<BTreeSet<_>>());
+        let mut d = na.clone();
+        d.difference_with(&nb);
+        prop_assert_eq!(d.to_btree_set(), a.difference(&b).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(na.intersects(&nb), !i.is_empty());
+        prop_assert_eq!(na.is_subset_of(&nb), a.is_subset(&b));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use precipice_graph::NodeId;
 use rand::rngs::StdRng;
@@ -129,7 +129,12 @@ pub struct Simulation<P: Process> {
     queue: BinaryHeap<Entry<P::Msg>>,
     /// Last scheduled delivery time per directed channel; clamping new
     /// deliveries to it keeps channels FIFO under jittery latency.
-    fifo_last: HashMap<(NodeId, NodeId), SimTime>,
+    ///
+    /// Stored as one dense `n`-slot row per *sender*, allocated lazily on
+    /// the sender's first send: indexing is two array lookups instead of
+    /// a hash per message, and in localized workloads (the protocol's
+    /// whole point) only the handful of active senders pay for a row.
+    fifo_last: Vec<Vec<SimTime>>,
     fd: FailureDetector,
     metrics: Metrics,
     trace: Trace,
@@ -164,7 +169,7 @@ impl<P: Process> Simulation<P> {
             crashed: vec![false; n],
             processes,
             queue: BinaryHeap::new(),
-            fifo_last: HashMap::new(),
+            fifo_last: vec![Vec::new(); n],
             fd: FailureDetector::new(),
             metrics: Metrics::default(),
             time: SimTime::ZERO,
@@ -322,7 +327,11 @@ impl<P: Process> Simulation<P> {
                         to,
                     });
                     let latency = self.config.latency.sample(&mut self.rng);
-                    let slot = self.fifo_last.entry((me, to)).or_insert(SimTime::ZERO);
+                    let row = &mut self.fifo_last[me.index()];
+                    if row.is_empty() {
+                        row.resize(self.processes.len(), SimTime::ZERO);
+                    }
+                    let slot = &mut row[to.index()];
                     let at = (self.time + latency).max(*slot);
                     *slot = at;
                     self.push(at, EventKind::Deliver { to, from: me, msg });

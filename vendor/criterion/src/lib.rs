@@ -109,6 +109,7 @@ fn run_one(
     name: &str,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
     // Calibrate: one iteration to estimate cost, then spread the
@@ -118,6 +119,12 @@ fn run_one(
         elapsed: Duration::ZERO,
     };
     f(&mut probe);
+    if test_mode {
+        // Smoke mode (`--test`, like real criterion): the single probe
+        // iteration proved the bench runs without panicking.
+        println!("{name:<60} ok (test mode, 1 iter)");
+        return;
+    }
     let per_iter = probe.elapsed.max(Duration::from_nanos(1));
     let budget = measurement_time.max(Duration::from_millis(10));
     let iters = (budget.as_nanos() / per_iter.as_nanos() / sample_size.max(1) as u128)
@@ -147,6 +154,7 @@ pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -168,7 +176,13 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let name = format!("{}/{}", self.name, id.into_id());
-        run_one(&name, self.sample_size, self.measurement_time, &mut f);
+        run_one(
+            &name,
+            self.sample_size,
+            self.measurement_time,
+            self.test_mode,
+            &mut f,
+        );
         self
     }
 
@@ -183,9 +197,13 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher, &I),
     {
         let name = format!("{}/{}", self.name, id.into_id());
-        run_one(&name, self.sample_size, self.measurement_time, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &name,
+            self.sample_size,
+            self.measurement_time,
+            self.test_mode,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -198,6 +216,7 @@ impl BenchmarkGroup {
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -205,13 +224,16 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(1),
+            test_mode: false,
         }
     }
 }
 
 impl Criterion {
-    /// Accepted for API compatibility; CLI flags are ignored.
-    pub fn configure_from_args(self) -> Self {
+    /// Honours criterion's `--test` flag (run each bench once, as a
+    /// smoke test). Other CLI flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode |= std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -221,6 +243,7 @@ impl Criterion {
             name: name.into(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
         }
     }
 
@@ -229,8 +252,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let (n, t) = (self.sample_size, self.measurement_time);
-        run_one(&id.into_id(), n, t, &mut f);
+        let (n, t, tm) = (self.sample_size, self.measurement_time, self.test_mode);
+        run_one(&id.into_id(), n, t, tm, &mut f);
         self
     }
 
