@@ -1,9 +1,12 @@
 //! Runs every experiment report (E1–E8) in sequence.
 //!
-//! `cargo run --release -p precipice-bench --bin all_reports`
+//! `cargo run --release -p precipice-bench --bin all_reports -- [--jobs N]`
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards each sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
-    for (name, tables) in precipice_bench::experiments::all() {
+    let jobs = precipice_bench::report_jobs();
+    for (name, tables) in precipice_bench::experiments::all(jobs) {
         println!("\n# {name}\n");
         precipice_bench::experiments::print_tables(&tables);
     }

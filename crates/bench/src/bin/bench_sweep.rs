@@ -1,0 +1,141 @@
+//! Report binary: wall-clock of every E1–E8 experiment sweep at
+//! `--jobs 1` vs `--jobs N`, written as machine-readable JSON.
+//!
+//! For each experiment the binary runs the full sweep twice — once
+//! serial, once sharded across N workers — verifies that every
+//! deterministic table is **byte-identical** between the two runs (the
+//! sweep engine's order-stable merge contract; volatile wall-clock
+//! tables are excluded), and records both wall-clocks plus the speedup.
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_sweep -- \
+//!     [--jobs N] [--json PATH] [--only e4,e5]`
+//!
+//! `--jobs` defaults to `PRECIPICE_JOBS` or all cores; `--only` limits
+//! the run to a comma-separated subset of experiment keys (e1..e8).
+//! Writes `BENCH_sweep.json` to the current directory by default.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use precipice_bench::{deterministic_markdown, experiments};
+use precipice_workload::sweep::Jobs;
+
+struct SweepRow {
+    key: &'static str,
+    title: &'static str,
+    wall_1_ms: f64,
+    wall_n_ms: f64,
+    identical: bool,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        self.wall_1_ms / self.wall_n_ms
+    }
+}
+
+fn main() {
+    let jobs = precipice_bench::report_jobs();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            match args.get(i + 1) {
+                // The next token being another flag means the value was
+                // forgotten — fail loudly rather than treat "--only" as
+                // a file name.
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        })
+    };
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let only: Option<Vec<String>> =
+        value_of("--only").map(|v| v.split(',').map(str::to_owned).collect());
+    if let Some(keys) = &only {
+        // A typo'd or renamed key must fail loudly — CI relies on
+        // --only to pick which determinism assertions actually run.
+        for key in keys {
+            if !experiments::index().iter().any(|(k, _, _)| k == key) {
+                eprintln!("--only: unknown experiment key {key:?} (have e1..e8)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if jobs.get() == 1 {
+        eprintln!("note: --jobs 1 measures serial against serial; speedups will be ~1");
+    }
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}   identical",
+        "experiment",
+        "jobs=1 (ms)",
+        format!("jobs={} (ms)", jobs.get()),
+        "speedup"
+    );
+    for (key, title, run) in experiments::index() {
+        if let Some(keys) = &only {
+            if !keys.iter().any(|k| k == key) {
+                continue;
+            }
+        }
+        let serial_started = Instant::now();
+        let serial_tables = run(Jobs::serial());
+        let wall_1_ms = serial_started.elapsed().as_secs_f64() * 1000.0;
+
+        let parallel_started = Instant::now();
+        let parallel_tables = run(jobs);
+        let wall_n_ms = parallel_started.elapsed().as_secs_f64() * 1000.0;
+
+        let identical =
+            deterministic_markdown(&serial_tables) == deterministic_markdown(&parallel_tables);
+        let row = SweepRow {
+            key,
+            title,
+            wall_1_ms,
+            wall_n_ms,
+            identical,
+        };
+        println!(
+            "{:<26} {:>14.0} {:>14.0} {:>8.2}x   {}",
+            row.key,
+            row.wall_1_ms,
+            row.wall_n_ms,
+            row.speedup(),
+            row.identical
+        );
+        assert!(
+            identical,
+            "{key}: deterministic tables differ between jobs=1 and jobs={} — \
+             the sweep determinism contract is broken",
+            jobs.get()
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-sweep/1\",\n");
+    let _ = writeln!(json, "  \"jobs\": {},", jobs.get());
+    let _ = writeln!(json, "  \"host_cpus\": {},", Jobs::available().get());
+    json.push_str("  \"experiments\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"key\": \"{}\", \"title\": \"{}\", \"wall_1_ms\": {:.1}, \"wall_n_ms\": {:.1}, \"speedup\": {:.2}, \"identical\": {}}}",
+            r.key,
+            r.title,
+            r.wall_1_ms,
+            r.wall_n_ms,
+            r.speedup(),
+            r.identical
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

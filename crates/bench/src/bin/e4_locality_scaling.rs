@@ -1,9 +1,14 @@
 //! Report binary: E4 — local complexity: cost vs system size.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e4_locality_scaling`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e4_locality_scaling -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E4 — local complexity: cost vs system size\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e4_locality_scaling());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e4_locality_scaling(
+        jobs,
+    ));
 }

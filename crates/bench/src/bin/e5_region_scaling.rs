@@ -1,9 +1,14 @@
 //! Report binary: E5 — cost vs crashed-region shape and extent.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e5_region_scaling`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e5_region_scaling -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E5 — cost vs crashed-region shape and extent\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e5_region_scaling());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e5_region_scaling(
+        jobs,
+    ));
 }

@@ -1,11 +1,14 @@
 //! Report binary: E6 — convergence under ongoing failures.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e6_churn_convergence`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e6_churn_convergence -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E6 — convergence under ongoing failures\n");
     precipice_bench::experiments::print_tables(
-        &precipice_bench::experiments::e6_churn_convergence(),
+        &precipice_bench::experiments::e6_churn_convergence(jobs),
     );
 }

@@ -1,9 +1,12 @@
 //! Report binary: E7 — optimization and arbitration ablations.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e7_ablations`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e7_ablations -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E7 — optimization and arbitration ablations\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e7_ablations());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e7_ablations(jobs));
 }

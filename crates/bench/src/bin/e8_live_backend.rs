@@ -1,9 +1,14 @@
 //! Report binary: E8 — simulator vs live thread backend.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e8_live_backend`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin e8_live_backend -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E8 — simulator vs live thread backend\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e8_live_backend());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e8_live_backend(
+        jobs,
+    ));
 }

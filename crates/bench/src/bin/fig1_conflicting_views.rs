@@ -1,9 +1,12 @@
 //! Report binary: E1 / Figure 1 — protocol instances and conflicting views.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig1_conflicting_views`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig1_conflicting_views -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E1 / Figure 1 — protocol instances and conflicting views\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e1_figure1());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e1_figure1(jobs));
 }

@@ -1,9 +1,12 @@
 //! Report binary: E2 / Figure 2 — a cluster of adjacent faulty domains.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig2_adjacent_domains`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig2_adjacent_domains -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E2 / Figure 2 — a cluster of adjacent faulty domains\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e2_figure2());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e2_figure2(jobs));
 }

@@ -1,9 +1,12 @@
 //! Report binary: E3 / Figure 3 — convergence between overlapping views.
 //!
 //! Regenerates the experiment's tables (see the `precipice_bench::experiments` module
-//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig3_view_convergence`.
+//! docs for the E1–E8 index). Run with `cargo run --release -p precipice-bench --bin fig3_view_convergence -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the sweep across
+//! worker threads; the output is byte-identical for any worker count.
 
 fn main() {
+    let jobs = precipice_bench::report_jobs();
     println!("# E3 / Figure 3 — convergence between overlapping views\n");
-    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e3_figure3());
+    precipice_bench::experiments::print_tables(&precipice_bench::experiments::e3_figure3(jobs));
 }

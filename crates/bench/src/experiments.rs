@@ -2,7 +2,13 @@
 //!
 //! Each function runs one experiment and returns printable result
 //! tables; the `src/bin/*` report binaries are thin wrappers. Everything
-//! is deterministic in the seeds embedded here.
+//! is deterministic in the seeds embedded here: each experiment is a
+//! list of independent jobs (one simulation per job, seeding its own
+//! `Simulation`) sharded across workers by
+//! [`precipice_workload::sweep`], and the merged tables are
+//! **byte-identical for any `--jobs` count** — only the volatile
+//! wall-clock tables (marked via [`Table::is_volatile`]) depend on the
+//! machine. Pass [`Jobs::serial`] for the old single-core behavior.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -10,21 +16,22 @@ use std::time::Instant;
 use precipice_core::ProtocolConfig;
 use precipice_graph::{NodeId, Region};
 use precipice_net::LiveCluster;
-use precipice_runtime::{check_spec, Scenario};
+use precipice_runtime::Scenario;
 use precipice_sim::SimTime;
 use precipice_workload::figures::{figure3_scenario, Figure1, Figure2};
 use precipice_workload::patterns::CrashTiming;
 use precipice_workload::stats::summarize;
+use precipice_workload::sweep::{self, Jobs};
 use precipice_workload::table::{fmt_num, Table};
 
 use crate::{
-    carve_region, experiment_sim, measure_cliff_edge, simultaneous, torus_of, RegionShape,
+    carve_region, experiment_sim, measure_cliff_edge, simultaneous, torus_of, RegionShape, RunCost,
 };
 
 /// E1 — Figure 1: two independent local agreements (a), and convergence
 /// under the paris crash racing the F1 agreement (b), swept over the
 /// crash delay.
-pub fn e1_figure1() -> Vec<Table> {
+pub fn e1_figure1(jobs: Jobs) -> Vec<Table> {
     let fig = Figure1::new();
 
     let mut ta = Table::new(
@@ -37,27 +44,24 @@ pub fn e1_figure1() -> Vec<Table> {
             "violations",
         ],
     );
-    for seed in 0..5u64 {
+    let seeds: Vec<u64> = (0..8).collect();
+    for row in sweep::run(jobs, &seeds, |_, &seed| {
         let report = fig.scenario_a(seed).run();
-        let violations = check_spec(&report);
-        let regions: Vec<String> = report
-            .decided_regions()
+        let digest = report.digest();
+        let regions: Vec<String> = digest
+            .decided_regions
             .iter()
             .map(|r| region_names(&fig, r))
             .collect();
-        let max_node = report
-            .metrics
-            .iter_nodes()
-            .map(|(_, m)| m.sent)
-            .max()
-            .unwrap_or(0);
-        ta.push_row([
+        [
             seed.to_string(),
             regions.join(" + "),
-            report.metrics.messages_sent().to_string(),
-            max_node.to_string(),
-            violations.len().to_string(),
-        ]);
+            digest.messages.to_string(),
+            digest.max_sent_by_one.to_string(),
+            digest.violations.to_string(),
+        ]
+    }) {
+        ta.push_row(row);
     }
 
     let mut tb = Table::new(
@@ -71,34 +75,46 @@ pub fn e1_figure1() -> Vec<Table> {
             "violations",
         ],
     );
-    for delay_ms in [2u64, 6, 10, 20, 40] {
-        let mut f3 = 0;
-        let mut f1 = 0;
-        let mut starved = 0;
-        let mut violations = 0;
-        let runs = 10u64;
-        for seed in 0..runs {
-            let report = fig.scenario_b(seed, SimTime::from_millis(delay_ms)).run();
-            violations += check_spec(&report).len();
-            let regions = report.decided_regions();
-            if regions.contains(&fig.f3) {
-                f3 += 1;
-            } else if regions.contains(&fig.f1) {
-                f1 += 1;
-            } else {
-                starved += 1;
-            }
-        }
+    let delays = [2u64, 6, 10, 20, 40];
+    let runs = 16u64;
+    let cases: Vec<(u64, u64)> = delays
+        .iter()
+        .flat_map(|&d| (0..runs).map(move |s| (d, s)))
+        .collect();
+    let outcomes = sweep::run(jobs, &cases, |_, &(delay_ms, seed)| {
+        let report = fig.scenario_b(seed, SimTime::from_millis(delay_ms)).run();
+        let digest = report.digest();
+        let west = if digest.decided_regions.contains(&fig.f3) {
+            WestOutcome::F3
+        } else if digest.decided_regions.contains(&fig.f1) {
+            WestOutcome::F1
+        } else {
+            WestOutcome::Starved
+        };
+        (west, digest.violations)
+    });
+    for (di, &delay_ms) in delays.iter().enumerate() {
+        let chunk = &outcomes[di * runs as usize..(di + 1) * runs as usize];
+        let count = |want: WestOutcome| chunk.iter().filter(|(got, _)| *got == want).count();
+        let violations: usize = chunk.iter().map(|(_, v)| v).sum();
         tb.push_row([
             delay_ms.to_string(),
             runs.to_string(),
-            f3.to_string(),
-            f1.to_string(),
-            starved.to_string(),
+            count(WestOutcome::F3).to_string(),
+            count(WestOutcome::F1).to_string(),
+            count(WestOutcome::Starved).to_string(),
             violations.to_string(),
         ]);
     }
     vec![ta, tb]
+}
+
+/// What the west side of Figure 1(b) ended up deciding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WestOutcome {
+    F3,
+    F1,
+    Starved,
 }
 
 fn region_names(fig: &Figure1, region: &Region) -> String {
@@ -119,7 +135,7 @@ fn region_names(fig: &Figure1, region: &Region) -> String {
 
 /// E2 — Figure 2: a single faulty cluster made of `k` transitively
 /// adjacent domains; cluster-level progress with per-domain outcomes.
-pub fn e2_figure2() -> Vec<Table> {
+pub fn e2_figure2(jobs: Jobs) -> Vec<Table> {
     let mut t = Table::new(
         "E2/Fig.2 — chain of adjacent faulty domains (one cluster)",
         [
@@ -131,28 +147,31 @@ pub fn e2_figure2() -> Vec<Table> {
             "violations",
         ],
     );
-    for k in [2usize, 3, 4, 6] {
-        for size in [1usize, 2] {
-            let fig = Figure2::new(k, size);
-            let report = fig
-                .scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1)))
-                .run();
-            let violations = check_spec(&report);
-            let decided = report.decided_regions();
-            let decided_domains = fig
-                .domains
-                .iter()
-                .filter(|d| decided.iter().any(|r| r == *d))
-                .count();
-            t.push_row([
-                k.to_string(),
-                size.to_string(),
-                format!("{decided_domains}/{k}"),
-                report.decisions.len().to_string(),
-                report.metrics.messages_sent().to_string(),
-                violations.len().to_string(),
-            ]);
-        }
+    let cases: Vec<(usize, usize)> = [2usize, 3, 4, 6]
+        .into_iter()
+        .flat_map(|k| [1usize, 2].into_iter().map(move |size| (k, size)))
+        .collect();
+    for row in sweep::run(jobs, &cases, |_, &(k, size)| {
+        let fig = Figure2::new(k, size);
+        let report = fig
+            .scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1)))
+            .run();
+        let digest = report.digest();
+        let decided_domains = fig
+            .domains
+            .iter()
+            .filter(|d| digest.decided_regions.iter().any(|r| r == *d))
+            .count();
+        [
+            k.to_string(),
+            size.to_string(),
+            format!("{decided_domains}/{k}"),
+            digest.deciders.to_string(),
+            digest.messages.to_string(),
+            digest.violations.to_string(),
+        ]
+    }) {
+        t.push_row(row);
     }
     vec![t]
 }
@@ -160,7 +179,7 @@ pub fn e2_figure2() -> Vec<Table> {
 /// E3 — Figure 3: the overlap adversary. A region grows node-by-node
 /// while its border agrees; across every skew, partial overlaps (CD6)
 /// must never occur.
-pub fn e3_figure3() -> Vec<Table> {
+pub fn e3_figure3(jobs: Jobs) -> Vec<Table> {
     let mut t = Table::new(
         "E3/Fig.3 — overlapping-view adversary (CD6 must never trip)",
         [
@@ -172,40 +191,64 @@ pub fn e3_figure3() -> Vec<Table> {
             "mean decided size",
         ],
     );
-    for growth in [1usize, 2, 4] {
-        for delay_ms in [1u64, 4, 16] {
-            let runs = 12u64;
-            let mut any = 0usize;
-            let mut sizes = Vec::new();
-            for seed in 0..runs {
-                let (scenario, _full) =
-                    figure3_scenario(6, growth, SimTime::from_millis(delay_ms), seed);
-                let report = scenario.run();
-                let violations = check_spec(&report);
-                any += violations.len();
-                for r in report.decided_regions() {
-                    sizes.push(r.len() as f64);
-                }
-            }
-            t.push_row([
-                growth.to_string(),
-                delay_ms.to_string(),
-                runs.to_string(),
-                // CD6 violations are included in `any`; report both for
-                // emphasis — the checker distinguishes them.
-                "0".to_owned(),
-                any.to_string(),
-                fmt_num(summarize(&sizes).mean),
-            ]);
-        }
+    let runs = 16u64;
+    let combos: Vec<(usize, u64)> = [1usize, 2, 4]
+        .into_iter()
+        .flat_map(|g| [1u64, 4, 16].into_iter().map(move |d| (g, d)))
+        .collect();
+    let cases: Vec<(usize, u64, u64)> = combos
+        .iter()
+        .flat_map(|&(g, d)| (0..runs).map(move |s| (g, d, s)))
+        .collect();
+    let results = sweep::run(jobs, &cases, |_, &(growth, delay_ms, seed)| {
+        let (scenario, _full) = figure3_scenario(6, growth, SimTime::from_millis(delay_ms), seed);
+        let digest = scenario.run().digest();
+        let sizes: Vec<f64> = digest
+            .decided_regions
+            .iter()
+            .map(|r| r.len() as f64)
+            .collect();
+        (digest.violations, sizes)
+    });
+    for (ci, &(growth, delay_ms)) in combos.iter().enumerate() {
+        let chunk = &results[ci * runs as usize..(ci + 1) * runs as usize];
+        let any: usize = chunk.iter().map(|(v, _)| v).sum();
+        let sizes: Vec<f64> = chunk.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        t.push_row([
+            growth.to_string(),
+            delay_ms.to_string(),
+            runs.to_string(),
+            // CD6 violations are included in `any`; report both for
+            // emphasis — the checker distinguishes them.
+            "0".to_owned(),
+            any.to_string(),
+            fmt_num(summarize(&sizes).mean),
+        ]);
     }
     vec![t]
+}
+
+/// One E4 job: a seeded cliff-edge run, or one of the baselines (the
+/// gossip baseline is seed-independent; the quadratic global baseline
+/// only runs on the small systems).
+#[derive(Debug, Clone, Copy)]
+enum E4Job {
+    Cliff { n: usize, seed: u64 },
+    Gossip { n: usize },
+    Global { n: usize },
+}
+
+#[derive(Debug, Clone)]
+enum E4Out {
+    Cliff(RunCost),
+    Gossip(u64),
+    Global { messages: u64, bytes: u64 },
 }
 
 /// E4 — the headline locality claim: fixed crashed region, growing
 /// system. Cliff-edge cost must stay flat while the global baseline
 /// grows superlinearly and gossip linearly.
-pub fn e4_locality_scaling() -> Vec<Table> {
+pub fn e4_locality_scaling(jobs: Jobs) -> Vec<Table> {
     let mut t = Table::new(
         "E4 — cost vs system size N (fixed 8-node crashed region, torus)",
         [
@@ -219,56 +262,114 @@ pub fn e4_locality_scaling() -> Vec<Table> {
             "global KB",
         ],
     );
-    let seeds: [u64; 3] = [1, 2, 3];
-    for n in [64usize, 256, 576, 1024, 4096, 16384] {
-        let graph = torus_of(n);
-        let region = carve_region(&graph, RegionShape::Blob, 8);
-        let crashes: Vec<(NodeId, SimTime)> = region
+    let seeds: [u64; 5] = [1, 2, 3, 4, 5];
+    let sizes = [64usize, 256, 576, 1024, 4096, 16384, 32768];
+    let mut specs: Vec<E4Job> = Vec::new();
+    for &n in &sizes {
+        for &seed in &seeds {
+            specs.push(E4Job::Cliff { n, seed });
+        }
+        specs.push(E4Job::Gossip { n });
+        if n <= 576 {
+            specs.push(E4Job::Global { n });
+        }
+    }
+    // One torus and one crashed region per size, shared across jobs —
+    // the dense neighbor-mask table is ~134 MB at n = 32768, far too
+    // heavy to rebuild inside concurrent jobs (`Graph::clone` below is
+    // O(1): the topology is `Arc`-shared), and carving the region once
+    // makes "the baselines crash the same blob as the cliff-edge runs"
+    // structural rather than a convention across job arms.
+    let graphs: BTreeMap<usize, precipice_graph::Graph> =
+        sizes.iter().map(|&n| (n, torus_of(n))).collect();
+    let regions: BTreeMap<usize, Region> = sizes
+        .iter()
+        .map(|&n| (n, carve_region(&graphs[&n], RegionShape::Blob, 8)))
+        .collect();
+    let baseline_crashes = |n: usize| -> Vec<(NodeId, SimTime)> {
+        regions[&n]
             .iter()
             .map(|p| (p, SimTime::from_millis(1)))
-            .collect();
-
-        let mut msgs = Vec::new();
-        let mut bytes = Vec::new();
-        let mut active = Vec::new();
-        let mut decide = Vec::new();
-        for &seed in &seeds {
+            .collect()
+    };
+    let outs = sweep::run(jobs, &specs, |_, &spec| match spec {
+        E4Job::Cliff { n, seed } => {
             let (cost, _) = measure_cliff_edge(
-                graph.clone(),
-                &region,
+                graphs[&n].clone(),
+                &regions[&n],
                 simultaneous(),
                 ProtocolConfig::default(),
                 seed,
             );
-            msgs.push(cost.messages as f64);
-            bytes.push(cost.bytes as f64);
-            active.push(cost.active_nodes as f64);
-            decide.push(cost.decision_ms);
+            E4Out::Cliff(cost)
         }
+        E4Job::Gossip { n } => {
+            let report = precipice_baseline::gossip::run_gossip(
+                &graphs[&n],
+                &baseline_crashes(n),
+                experiment_sim(1, false),
+            );
+            E4Out::Gossip(report.metrics.messages_sent())
+        }
+        E4Job::Global { n } => {
+            let report = precipice_baseline::global::run_global(
+                &graphs[&n],
+                &baseline_crashes(n),
+                experiment_sim(1, false),
+            );
+            E4Out::Global {
+                messages: report.metrics.messages_sent(),
+                bytes: report.metrics.bytes_sent(),
+            }
+        }
+    });
 
-        let gossip =
-            precipice_baseline::gossip::run_gossip(&graph, &crashes, experiment_sim(1, false));
-
-        let (global_msgs, global_kb) = if n <= 576 {
-            let g =
-                precipice_baseline::global::run_global(&graph, &crashes, experiment_sim(1, false));
-            (
-                fmt_num(g.metrics.messages_sent() as f64),
-                fmt_num(g.metrics.bytes_sent() as f64 / 1024.0),
-            )
-        } else {
-            ("— (quadratic)".to_owned(), "—".to_owned())
-        };
-
+    let by_size: BTreeMap<usize, Vec<&E4Out>> = sizes
+        .iter()
+        .map(|&n| {
+            let rows = specs
+                .iter()
+                .zip(&outs)
+                .filter(|(spec, _)| {
+                    matches!(spec,
+                        E4Job::Cliff { n: m, .. } | E4Job::Gossip { n: m } | E4Job::Global { n: m }
+                        if *m == n)
+                })
+                .map(|(_, out)| out)
+                .collect();
+            (n, rows)
+        })
+        .collect();
+    for &n in &sizes {
+        let mut msgs = Vec::new();
+        let mut bytes = Vec::new();
+        let mut active = Vec::new();
+        let mut decide = Vec::new();
+        let mut gossip_msgs = 0u64;
+        let mut global = ("— (quadratic)".to_owned(), "—".to_owned());
+        for out in &by_size[&n] {
+            match out {
+                E4Out::Cliff(cost) => {
+                    msgs.push(cost.messages as f64);
+                    bytes.push(cost.bytes as f64);
+                    active.push(cost.active_nodes as f64);
+                    decide.push(cost.decision_ms);
+                }
+                E4Out::Gossip(m) => gossip_msgs = *m,
+                E4Out::Global { messages, bytes } => {
+                    global = (fmt_num(*messages as f64), fmt_num(*bytes as f64 / 1024.0));
+                }
+            }
+        }
         t.push_row([
             n.to_string(),
             fmt_num(summarize(&msgs).mean),
             fmt_num(summarize(&bytes).mean / 1024.0),
             fmt_num(summarize(&active).mean),
             fmt_num(summarize(&decide).mean),
-            gossip.metrics.messages_sent().to_string(),
-            global_msgs,
-            global_kb,
+            gossip_msgs.to_string(),
+            global.0,
+            global.1,
         ]);
     }
     vec![t]
@@ -276,50 +377,67 @@ pub fn e4_locality_scaling() -> Vec<Table> {
 
 /// E5 — cost vs region size and *shape* (the paper: cost depends on "the
 /// shape and extent of the crashed region", not the system).
-pub fn e5_region_scaling() -> Vec<Table> {
+pub fn e5_region_scaling(jobs: Jobs) -> Vec<Table> {
     let mut t = Table::new(
-        "E5 — cost vs crashed-region size/shape (N = 4096 torus, faithful protocol)",
+        "E5 — cost vs crashed-region size/shape (N = 16384 torus, faithful protocol)",
         [
             "shape",
             "region size",
             "border size",
+            "seeds",
             "rounds",
             "messages",
             "KB",
             "decide (ms)",
         ],
     );
-    let graph = torus_of(4096);
-    for (shape, sizes) in [
-        (RegionShape::Blob, vec![1usize, 2, 4, 8, 16, 32, 64]),
-        (RegionShape::Line, vec![1usize, 2, 4, 8, 16, 32]),
-    ] {
-        for k in sizes {
-            let region = carve_region(&graph, shape, k);
-            let (cost, _) = measure_cliff_edge(
-                graph.clone(),
-                &region,
-                simultaneous(),
-                ProtocolConfig::default(),
-                7,
-            );
-            t.push_row([
-                format!("{shape:?}"),
-                k.to_string(),
-                cost.border.to_string(),
-                cost.max_round.to_string(),
-                cost.messages.to_string(),
-                fmt_num(cost.bytes as f64 / 1024.0),
-                fmt_num(cost.decision_ms),
-            ]);
-        }
+    let graph = torus_of(16384);
+    let seeds: [u64; 3] = [5, 6, 7];
+    let combos: Vec<(RegionShape, usize)> = [
+        (RegionShape::Blob, vec![1usize, 2, 4, 8, 16, 32, 64, 128]),
+        (RegionShape::Line, vec![1usize, 2, 4, 8, 16, 32, 64]),
+    ]
+    .into_iter()
+    .flat_map(|(shape, sizes)| sizes.into_iter().map(move |k| (shape, k)))
+    .collect();
+    let cases: Vec<(RegionShape, usize, u64)> = combos
+        .iter()
+        .flat_map(|&(shape, k)| seeds.iter().map(move |&s| (shape, k, s)))
+        .collect();
+    let costs = sweep::run(jobs, &cases, |_, &(shape, k, seed)| {
+        let region = carve_region(&graph, shape, k);
+        let (cost, _) = measure_cliff_edge(
+            graph.clone(),
+            &region,
+            simultaneous(),
+            ProtocolConfig::default(),
+            seed,
+        );
+        cost
+    });
+    for (ci, &(shape, k)) in combos.iter().enumerate() {
+        let chunk = &costs[ci * seeds.len()..(ci + 1) * seeds.len()];
+        let mean = |f: fn(&RunCost) -> f64| {
+            let samples: Vec<f64> = chunk.iter().map(f).collect();
+            summarize(&samples).mean
+        };
+        t.push_row([
+            format!("{shape:?}"),
+            k.to_string(),
+            chunk[0].border.to_string(),
+            seeds.len().to_string(),
+            fmt_num(mean(|c| c.max_round as f64)),
+            fmt_num(mean(|c| c.messages as f64)),
+            fmt_num(mean(|c| c.bytes as f64) / 1024.0),
+            fmt_num(mean(|c| c.decision_ms)),
+        ]);
     }
     vec![t]
 }
 
 /// E6 — convergence under ongoing failures: a region that grows in `g`
 /// cascade steps with inter-step delay δ, racing the agreement.
-pub fn e6_churn_convergence() -> Vec<Table> {
+pub fn e6_churn_convergence(jobs: Jobs) -> Vec<Table> {
     let mut t = Table::new(
         "E6 — cascade churn: growth racing agreement (N = 576 torus)",
         [
@@ -335,68 +453,54 @@ pub fn e6_churn_convergence() -> Vec<Table> {
         ],
     );
     let graph = torus_of(576);
-    for growth in [1usize, 2, 4, 8] {
-        for delay_ms in [1u64, 8, 32] {
-            let mut proposals = Vec::new();
-            let mut failed = Vec::new();
-            let mut rejects = Vec::new();
-            let mut msgs = Vec::new();
-            let mut conv = Vec::new();
-            let mut largest = Vec::new();
-            let mut violations = 0usize;
-            for seed in [1u64, 2, 3] {
-                let region = carve_region(&graph, RegionShape::Line, growth + 1);
-                let scenario = Scenario::builder(graph.clone())
-                    .crashes(precipice_workload::patterns::schedule(
-                        region.iter(),
-                        CrashTiming::Cascade {
-                            start: SimTime::from_millis(1),
-                            step: SimTime::from_millis(delay_ms),
-                        },
-                    ))
-                    .sim_config(experiment_sim(seed, true))
-                    .build();
-                let report = scenario.run();
-                violations += check_spec(&report).len();
-                proposals.push(
-                    report
-                        .stats
-                        .values()
-                        .map(|s| s.proposals)
-                        .max()
-                        .unwrap_or(0) as f64,
-                );
-                failed.push(
-                    report
-                        .stats
-                        .values()
-                        .map(|s| s.failed_instances)
-                        .sum::<u64>() as f64,
-                );
-                rejects.push(report.stats.values().map(|s| s.rejects_sent).sum::<u64>() as f64);
-                msgs.push(report.metrics.messages_sent() as f64);
-                conv.push(report.last_decision_at().map_or(0.0, |x| x.as_millis_f64()));
-                largest.push(
-                    report
-                        .decided_regions()
-                        .iter()
-                        .map(Region::len)
-                        .max()
-                        .unwrap_or(0) as f64,
-                );
-            }
-            t.push_row([
-                growth.to_string(),
-                delay_ms.to_string(),
-                fmt_num(summarize(&proposals).mean),
-                fmt_num(summarize(&failed).mean),
-                fmt_num(summarize(&rejects).mean),
-                fmt_num(summarize(&msgs).mean),
-                fmt_num(summarize(&conv).mean),
-                fmt_num(summarize(&largest).mean),
-                violations.to_string(),
-            ]);
-        }
+    let seeds: [u64; 5] = [1, 2, 3, 4, 5];
+    let combos: Vec<(usize, u64)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .flat_map(|g| [1u64, 8, 32].into_iter().map(move |d| (g, d)))
+        .collect();
+    let cases: Vec<(usize, u64, u64)> = combos
+        .iter()
+        .flat_map(|&(g, d)| seeds.iter().map(move |&s| (g, d, s)))
+        .collect();
+    let digests = sweep::run(jobs, &cases, |_, &(growth, delay_ms, seed)| {
+        let region = carve_region(&graph, RegionShape::Line, growth + 1);
+        let scenario = Scenario::builder(graph.clone())
+            .crashes(precipice_workload::patterns::schedule(
+                region.iter(),
+                CrashTiming::Cascade {
+                    start: SimTime::from_millis(1),
+                    step: SimTime::from_millis(delay_ms),
+                },
+            ))
+            .sim_config(experiment_sim(seed, true))
+            .build();
+        scenario.run().digest()
+    });
+    for (ci, &(growth, delay_ms)) in combos.iter().enumerate() {
+        let chunk = &digests[ci * seeds.len()..(ci + 1) * seeds.len()];
+        let mean = |samples: Vec<f64>| summarize(&samples).mean;
+        t.push_row([
+            growth.to_string(),
+            delay_ms.to_string(),
+            fmt_num(mean(chunk.iter().map(|d| d.max_proposals as f64).collect())),
+            fmt_num(mean(
+                chunk.iter().map(|d| d.failed_instances as f64).collect(),
+            )),
+            fmt_num(mean(chunk.iter().map(|d| d.rejects_sent as f64).collect())),
+            fmt_num(mean(chunk.iter().map(|d| d.messages as f64).collect())),
+            fmt_num(mean(chunk.iter().map(|d| d.last_decision_ms).collect())),
+            fmt_num(mean(
+                chunk
+                    .iter()
+                    .map(|d| d.decided_regions.iter().map(Region::len).max().unwrap_or(0) as f64)
+                    .collect(),
+            )),
+            chunk
+                .iter()
+                .map(|d| d.violations)
+                .sum::<usize>()
+                .to_string(),
+        ]);
     }
     vec![t]
 }
@@ -404,7 +508,7 @@ pub fn e6_churn_convergence() -> Vec<Table> {
 /// E7 — ablations: the paper's footnote-6 optimizations, and the
 /// no-arbitration variant demonstrating the rejection mechanism is
 /// load-bearing.
-pub fn e7_ablations() -> Vec<Table> {
+pub fn e7_ablations(jobs: Jobs) -> Vec<Table> {
     let graph = torus_of(256);
     let region = carve_region(&graph, RegionShape::Blob, 6);
     let cascade = CrashTiming::Cascade {
@@ -436,45 +540,38 @@ pub fn e7_ablations() -> Vec<Table> {
         ),
         ("both (optimized)", ProtocolConfig::optimized()),
     ];
-    for (label, config) in configs {
-        let mut msgs = Vec::new();
-        let mut kb = Vec::new();
-        let mut round = Vec::new();
-        let mut dec_ms = Vec::new();
-        let mut deciders = Vec::new();
-        let mut violations = 0usize;
-        for seed in [1u64, 2, 3] {
-            let scenario = Scenario::builder(graph.clone())
-                .crashes(precipice_workload::patterns::schedule(
-                    region.iter(),
-                    cascade,
-                ))
-                .protocol(config)
-                .sim_config(experiment_sim(seed, true))
-                .build();
-            let report = scenario.run();
-            violations += check_spec(&report).len();
-            msgs.push(report.metrics.messages_sent() as f64);
-            kb.push(report.metrics.bytes_sent() as f64 / 1024.0);
-            round.push(
-                report
-                    .stats
-                    .values()
-                    .map(|s| s.max_round)
-                    .max()
-                    .unwrap_or(0) as f64,
-            );
-            dec_ms.push(report.last_decision_at().map_or(0.0, |x| x.as_millis_f64()));
-            deciders.push(report.decisions.len() as f64);
-        }
+    let seeds: [u64; 5] = [1, 2, 3, 4, 5];
+    let cases: Vec<(usize, u64)> = (0..configs.len())
+        .flat_map(|ci| seeds.iter().map(move |&s| (ci, s)))
+        .collect();
+    let digests = sweep::run(jobs, &cases, |_, &(ci, seed)| {
+        let scenario = Scenario::builder(graph.clone())
+            .crashes(precipice_workload::patterns::schedule(
+                region.iter(),
+                cascade,
+            ))
+            .protocol(configs[ci].1)
+            .sim_config(experiment_sim(seed, true))
+            .build();
+        scenario.run().digest()
+    });
+    for (ci, (label, _)) in configs.iter().enumerate() {
+        let chunk = &digests[ci * seeds.len()..(ci + 1) * seeds.len()];
+        let mean = |samples: Vec<f64>| summarize(&samples).mean;
         t.push_row([
-            label.to_owned(),
-            fmt_num(summarize(&msgs).mean),
-            fmt_num(summarize(&kb).mean),
-            fmt_num(summarize(&round).mean),
-            fmt_num(summarize(&dec_ms).mean),
-            fmt_num(summarize(&deciders).mean),
-            violations.to_string(),
+            (*label).to_owned(),
+            fmt_num(mean(chunk.iter().map(|d| d.messages as f64).collect())),
+            fmt_num(mean(
+                chunk.iter().map(|d| d.bytes as f64 / 1024.0).collect(),
+            )),
+            fmt_num(mean(chunk.iter().map(|d| d.max_round as f64).collect())),
+            fmt_num(mean(chunk.iter().map(|d| d.last_decision_ms).collect())),
+            fmt_num(mean(chunk.iter().map(|d| d.deciders as f64).collect())),
+            chunk
+                .iter()
+                .map(|d| d.violations)
+                .sum::<usize>()
+                .to_string(),
         ]);
     }
 
@@ -488,30 +585,32 @@ pub fn e7_ablations() -> Vec<Table> {
             "stalled nodes (mean)",
         ],
     );
-    for delay_ms in [1u64, 8, 32] {
-        let runs = 5u64;
-        let mut with_violations = 0usize;
-        let mut total = 0usize;
-        let mut stalled = Vec::new();
-        for seed in 0..runs {
-            let region = carve_region(&graph, RegionShape::Line, 4);
-            let scenario = Scenario::builder(graph.clone())
-                .crashes(precipice_workload::patterns::schedule(
-                    region.iter(),
-                    CrashTiming::Cascade {
-                        start: SimTime::from_millis(1),
-                        step: SimTime::from_millis(delay_ms),
-                    },
-                ))
-                .sim_config(experiment_sim(seed, true))
-                .build();
-            let outcome = precipice_baseline::noarb::run_without_arbitration(&scenario);
-            if !outcome.violations.is_empty() {
-                with_violations += 1;
-            }
-            total += outcome.violations.len();
-            stalled.push(outcome.stalled_nodes() as f64);
-        }
+    let runs = 8u64;
+    let delays = [1u64, 8, 32];
+    let noarb_cases: Vec<(u64, u64)> = delays
+        .iter()
+        .flat_map(|&d| (0..runs).map(move |s| (d, s)))
+        .collect();
+    let outcomes = sweep::run(jobs, &noarb_cases, |_, &(delay_ms, seed)| {
+        let region = carve_region(&graph, RegionShape::Line, 4);
+        let scenario = Scenario::builder(graph.clone())
+            .crashes(precipice_workload::patterns::schedule(
+                region.iter(),
+                CrashTiming::Cascade {
+                    start: SimTime::from_millis(1),
+                    step: SimTime::from_millis(delay_ms),
+                },
+            ))
+            .sim_config(experiment_sim(seed, true))
+            .build();
+        let outcome = precipice_baseline::noarb::run_without_arbitration(&scenario);
+        (outcome.violations.len(), outcome.stalled_nodes() as f64)
+    });
+    for (di, &delay_ms) in delays.iter().enumerate() {
+        let chunk = &outcomes[di * runs as usize..(di + 1) * runs as usize];
+        let with_violations = chunk.iter().filter(|(v, _)| *v > 0).count();
+        let total: usize = chunk.iter().map(|(v, _)| v).sum();
+        let stalled: Vec<f64> = chunk.iter().map(|(_, s)| *s).collect();
         t2.push_row([
             delay_ms.to_string(),
             runs.to_string(),
@@ -525,20 +624,31 @@ pub fn e7_ablations() -> Vec<Table> {
 
 /// E8 — the live thread backend vs the simulator: identical decisions on
 /// deterministic scenarios, plus wall-clock cost of each backend.
-pub fn e8_live_backend() -> Vec<Table> {
+///
+/// The simulator side is deterministic; everything observed from the
+/// live backend (decider counts under multi-kill races, wall-clocks)
+/// depends on real thread scheduling, so those columns live in a
+/// volatile table excluded from determinism diffs. The quiescence
+/// invariant (`Oracle::pending() == 0` after a quiescent run) is
+/// asserted on every invocation; the identical/spec-consistent verdicts
+/// are reported in the volatile table.
+pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
     let mut t = Table::new(
-        "E8 — simulator vs live threads",
+        "E8 — simulator side (deterministic)",
+        ["topology", "kills", "sim deciders", "sim messages"],
+    );
+    let mut live = Table::new(
+        "E8 — live threads vs simulator (volatile: thread scheduling, wall-clock)",
         [
             "topology",
-            "kills",
-            "sim deciders",
             "live deciders",
             "identical decisions",
             "live spec-consistent",
             "sim wall (ms)",
             "live wall (ms)",
         ],
-    );
+    )
+    .mark_volatile();
     let cases: Vec<(&str, precipice_graph::Graph, Vec<NodeId>)> = vec![
         ("path(9)", precipice_graph::path(9), vec![NodeId(4)]),
         (
@@ -551,8 +661,13 @@ pub fn e8_live_backend() -> Vec<Table> {
             precipice_graph::torus(precipice_graph::GridDims::square(5)),
             vec![NodeId(12), NodeId(13)],
         ),
+        (
+            "torus(6x6)",
+            precipice_graph::torus(precipice_graph::GridDims::square(6)),
+            vec![NodeId(14)],
+        ),
     ];
-    for (label, graph, kills) in cases {
+    let results = sweep::run(jobs, &cases, |_, (_, graph, kills)| {
         // Simulator run.
         let sim_started = Instant::now();
         let scenario = Scenario::builder(graph.clone())
@@ -561,6 +676,7 @@ pub fn e8_live_backend() -> Vec<Table> {
             .build();
         let sim_report = scenario.run();
         let sim_wall = sim_started.elapsed().as_secs_f64() * 1000.0;
+        let sim_messages = sim_report.metrics.messages_sent();
         let sim_decisions: BTreeMap<NodeId, (Region, NodeId)> = sim_report
             .decisions
             .iter()
@@ -569,13 +685,19 @@ pub fn e8_live_backend() -> Vec<Table> {
 
         // Live run.
         let live_started = Instant::now();
-        let mut cluster = LiveCluster::start(graph, ProtocolConfig::default());
-        for &k in &kills {
+        let mut cluster = LiveCluster::start(graph.clone(), ProtocolConfig::default());
+        for &k in kills {
             cluster.kill(k);
         }
         let quiescent = cluster.await_quiescence(
             std::time::Duration::from_millis(150),
             std::time::Duration::from_secs(30),
+        );
+        // Quiescence means every posted event was acknowledged — the
+        // kill path drains dead inboxes instead of leaking their counts.
+        assert!(
+            !quiescent || cluster.oracle().pending() == 0,
+            "quiescent with outstanding events"
         );
         let live_report = cluster.shutdown();
         let live_wall = live_started.elapsed().as_secs_f64() * 1000.0;
@@ -584,7 +706,20 @@ pub fn e8_live_backend() -> Vec<Table> {
             .iter()
             .map(|(&n, (v, d))| (n, (v.region().clone(), *d)))
             .collect();
-
+        (
+            quiescent,
+            sim_messages,
+            sim_decisions,
+            live_decisions,
+            sim_wall,
+            live_wall,
+        )
+    });
+    for (
+        (label, _, kills),
+        (quiescent, sim_messages, sim_decisions, live_decisions, sim_wall, live_wall),
+    ) in cases.iter().zip(results)
+    {
         // Multi-kill outcomes are legitimately schedule-dependent (weak
         // progress): equality with one particular sim schedule is only
         // meaningful for single kills. Spec consistency always is:
@@ -609,9 +744,13 @@ pub fn e8_live_backend() -> Vec<Table> {
         }
 
         t.push_row([
-            label.to_owned(),
+            (*label).to_owned(),
             kills.len().to_string(),
             sim_decisions.len().to_string(),
+            sim_messages.to_string(),
+        ]);
+        live.push_row([
+            (*label).to_owned(),
             live_decisions.len().to_string(),
             identical,
             consistent.to_string(),
@@ -619,20 +758,33 @@ pub fn e8_live_backend() -> Vec<Table> {
             fmt_num(live_wall),
         ]);
     }
-    vec![t]
+    vec![t, live]
 }
 
 /// Runs every experiment, in order.
-pub fn all() -> Vec<(String, Vec<Table>)> {
+pub fn all(jobs: Jobs) -> Vec<(String, Vec<Table>)> {
+    index()
+        .into_iter()
+        .map(|(_, title, f)| (title.to_owned(), f(jobs)))
+        .collect()
+}
+
+/// The experiment runner signature shared by the index.
+pub type ExperimentFn = fn(Jobs) -> Vec<Table>;
+
+/// The experiment index as `(key, title, runner)` triples — the report
+/// binaries and the sweep benchmark iterate this list so a new
+/// experiment cannot be forgotten in one of them.
+pub fn index() -> Vec<(&'static str, &'static str, ExperimentFn)> {
     vec![
-        ("E1 (Figure 1)".to_owned(), e1_figure1()),
-        ("E2 (Figure 2)".to_owned(), e2_figure2()),
-        ("E3 (Figure 3)".to_owned(), e3_figure3()),
-        ("E4 (locality scaling)".to_owned(), e4_locality_scaling()),
-        ("E5 (region scaling)".to_owned(), e5_region_scaling()),
-        ("E6 (churn convergence)".to_owned(), e6_churn_convergence()),
-        ("E7 (ablations)".to_owned(), e7_ablations()),
-        ("E8 (live backend)".to_owned(), e8_live_backend()),
+        ("e1", "E1 (Figure 1)", e1_figure1 as ExperimentFn),
+        ("e2", "E2 (Figure 2)", e2_figure2),
+        ("e3", "E3 (Figure 3)", e3_figure3),
+        ("e4", "E4 (locality scaling)", e4_locality_scaling),
+        ("e5", "E5 (region scaling)", e5_region_scaling),
+        ("e6", "E6 (churn convergence)", e6_churn_convergence),
+        ("e7", "E7 (ablations)", e7_ablations),
+        ("e8", "E8 (live backend)", e8_live_backend),
     ]
 }
 

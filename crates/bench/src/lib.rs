@@ -13,6 +13,33 @@ use precipice_graph::{torus, Graph, GridDims, NodeId, Region};
 use precipice_runtime::{RunReport, Scenario};
 use precipice_sim::{LatencyModel, SimConfig, SimTime};
 use precipice_workload::patterns::{blob_of_size, line_region, schedule, CrashTiming};
+pub use precipice_workload::sweep::Jobs;
+
+/// Worker count for a report binary: `--jobs N` from the command line,
+/// else `PRECIPICE_JOBS`, else all available cores. Exits with status 2
+/// on a malformed flag.
+pub fn report_jobs() -> Jobs {
+    match Jobs::from_args(std::env::args().skip(1)) {
+        Ok(jobs) => jobs,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Concatenated markdown of the non-volatile tables — the byte string
+/// the sweep determinism contract is checked against (volatile tables
+/// carry wall-clock or thread-scheduling observations and are exempt;
+/// see [`Table::is_volatile`](precipice_workload::table::Table::is_volatile)).
+pub fn deterministic_markdown(tables: &[precipice_workload::table::Table]) -> String {
+    tables
+        .iter()
+        .filter(|t| !t.is_volatile())
+        .map(precipice_workload::table::Table::to_markdown)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
 
 /// Latency/FD configuration shared by all experiments: mild jitter so
 /// rounds overlap realistically, deterministic under the seed.

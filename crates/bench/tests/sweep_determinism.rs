@@ -1,0 +1,24 @@
+//! The sweep determinism contract, checked at the experiment level: an
+//! experiment's merged tables must be byte-identical no matter how many
+//! workers the sweep engine sharded the jobs across. (The engine itself
+//! is unit-tested in `precipice_workload::sweep`; this exercises the
+//! real job closures — per-job seeding, order-stable aggregation.)
+
+use precipice_bench::{deterministic_markdown, experiments};
+use precipice_workload::sweep::Jobs;
+
+#[test]
+fn e2_output_identical_for_1_and_4_workers() {
+    let serial = deterministic_markdown(&experiments::e2_figure2(Jobs::serial()));
+    let parallel = deterministic_markdown(&experiments::e2_figure2(Jobs::new(4)));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn e1_output_identical_for_1_and_4_workers() {
+    let serial = deterministic_markdown(&experiments::e1_figure1(Jobs::serial()));
+    let parallel = deterministic_markdown(&experiments::e1_figure1(Jobs::new(4)));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel);
+}

@@ -75,6 +75,11 @@ impl LiveCluster {
             let node = CliffEdgeNode::new(me, Arc::clone(&graph), NodeIdValuePolicy, config);
             let oracle_ref = Arc::clone(&oracle);
             let flag_ref = Arc::clone(&kill_flag);
+            // Charge the node's Init handler before its thread exists:
+            // quiescence must not be declarable while a spawned-but-not-
+            // yet-scheduled node still has subscriptions (and possibly
+            // an immediate crash notification) ahead of it.
+            oracle.charge();
             let handle = std::thread::Builder::new()
                 .name(format!("precipice-{me}"))
                 .spawn(move || node_main(me, node, inbox, oracle_ref, flag_ref))
@@ -119,6 +124,11 @@ impl LiveCluster {
             if self.oracle.pending() == 0 {
                 let since = *quiet_since.get_or_insert_with(Instant::now);
                 if since.elapsed() >= quiet {
+                    // Zero pending means every Init ran (each is charged
+                    // at spawn) and every posted event was processed, so
+                    // no handler is mid-flight; new events can only come
+                    // from handlers or from kills, which need `&mut
+                    // self`. A full quiet window is genuinely final.
                     return true;
                 }
             } else {
@@ -136,23 +146,15 @@ impl LiveCluster {
     pub fn shutdown(mut self) -> LiveReport {
         for &id in self.workers.keys() {
             // Survivors get an orderly shutdown; killed nodes already
-            // stopped via their flag.
+            // stopped via their flag (their inboxes were unregistered by
+            // the kill, so this post is a no-op for them).
             self.oracle.post(id, Inbox::Shutdown);
-        }
-        // Killed nodes' inboxes were unregistered: raise their flags
-        // again defensively and rely on recv timeouts.
-        for worker in self.workers.values() {
-            if worker.handle.is_finished() {
-                continue;
-            }
         }
         let mut decisions = BTreeMap::new();
         let mut stats = BTreeMap::new();
         for (id, worker) in std::mem::take(&mut self.workers) {
-            // A killed node's thread exits on its own via the kill flag.
-            if self.killed.contains(&id) {
-                worker.kill_flag.store(true, Ordering::SeqCst);
-            }
+            // A killed node's thread exits on its own: `kill` raised its
+            // flag before returning, so the join below cannot hang.
             let (node_id, node, decision) = worker.handle.join().expect("node thread panicked");
             debug_assert_eq!(node_id, id);
             if !self.killed.contains(&id) {
@@ -180,9 +182,13 @@ fn node_main(
     let mut decision: Option<(View, NodeId)> = None;
     let actions = node.handle(Event::Init);
     execute(me, actions, &oracle, &mut decision);
+    // Acknowledge the Init charge taken at spawn — only now may the
+    // cluster count this node as idle.
+    oracle.done();
 
     loop {
         if kill_flag.load(Ordering::SeqCst) {
+            drain_killed_inbox(&inbox, &oracle);
             break;
         }
         match inbox.recv_timeout(Duration::from_millis(10)) {
@@ -191,6 +197,7 @@ fn node_main(
                 // crashed node must not process queued traffic.
                 if kill_flag.load(Ordering::SeqCst) {
                     oracle.done();
+                    drain_killed_inbox(&inbox, &oracle);
                     break;
                 }
                 let done = matches!(event, Inbox::Shutdown);
@@ -215,6 +222,26 @@ fn node_main(
         }
     }
     (me, node, decision)
+}
+
+/// Drains a killed node's inbox, acknowledging every dropped event.
+///
+/// Every queued event was counted by `Oracle::post`, so exiting without
+/// draining would leave `Oracle::pending` above zero forever and
+/// [`LiveCluster::await_quiescence`] could only burn its timeout. The
+/// kill-flag store precedes [`Oracle::kill`], which removes this node's
+/// only sender under the oracle's state lock (`post` sends under the
+/// same lock, so nothing can enqueue after the removal): once the
+/// channel reports disconnection the queue is empty for good.
+fn drain_killed_inbox<M>(inbox: &Receiver<Inbox<M>>, oracle: &Oracle<M>) {
+    loop {
+        match inbox.recv_timeout(Duration::from_millis(1)) {
+            Ok(_) => oracle.done(),
+            // Sender not removed yet (the kill is mid-flight): wait.
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
 }
 
 fn execute(
@@ -317,6 +344,7 @@ mod tests {
             cluster.kill(k);
         }
         assert!(cluster.await_quiescence(QUIET, TIMEOUT));
+        assert_eq!(cluster.oracle().pending(), 0);
         let report = cluster.shutdown();
 
         // CD7 (cluster-level progress): at least one correct node decided.
@@ -368,6 +396,71 @@ mod tests {
         assert_eq!(report.decisions[&NodeId(6)].0.region(), &r5);
         assert_eq!(report.decisions[&NodeId(0)].1, NodeId(0));
         assert_eq!(report.decisions[&NodeId(4)].1, NodeId(4));
+    }
+
+    /// Kills issued immediately after start race the node threads'
+    /// `Init` handlers (some may not have been scheduled at all yet).
+    /// Each Init is charged to the pending counter at spawn, so the
+    /// quiet window cannot close until every subscription — and any
+    /// crash notification it immediately triggers — has landed;
+    /// otherwise quiescence could be declared with agreements still
+    /// ahead.
+    #[test]
+    fn kill_racing_startup_still_reaches_full_agreement() {
+        let mut cluster = LiveCluster::start(torus(GridDims::square(4)), ProtocolConfig::default());
+        // No sleep: the kill lands before most threads ran Init.
+        cluster.kill(NodeId(5));
+        assert!(cluster.await_quiescence(QUIET, TIMEOUT));
+        assert_eq!(cluster.oracle().pending(), 0);
+        let report = cluster.shutdown();
+        let region = Region::from_iter([NodeId(5)]);
+        assert_eq!(report.decisions.len(), 4, "whole border must decide");
+        for (node, (view, _)) in &report.decisions {
+            assert_eq!(view.region(), &region, "{node} decided a wrong region");
+        }
+    }
+
+    /// Regression test for the pending-counter leak: events posted to a
+    /// node before its kill used to die unacknowledged with the killed
+    /// thread, so `Oracle::pending` never returned to zero and
+    /// `await_quiescence` could only burn its full timeout.
+    #[test]
+    fn kill_under_load_quiesces_without_pending_leak() {
+        // A connected 6-node blob crashes at once on an 8x8 torus; its
+        // ~12-node border immediately floods agreement traffic. Node 26
+        // sits on that border: killing it a moment later drops it with
+        // proposals still queued in (and in flight toward) its inbox.
+        let graph = torus(GridDims::square(8));
+        let blob = [19u32, 20, 27, 28, 35, 36].map(NodeId);
+        let x = NodeId(26);
+        let mut cluster = LiveCluster::start(graph, ProtocolConfig::default());
+        for p in blob {
+            cluster.kill(p);
+        }
+        // Let the border agreement get into full flight before the kill.
+        std::thread::sleep(Duration::from_millis(1));
+        cluster.kill(x);
+        let started = Instant::now();
+        assert!(
+            cluster.await_quiescence(QUIET, TIMEOUT),
+            "cluster must settle after a kill under load"
+        );
+        assert!(
+            started.elapsed() < TIMEOUT / 2,
+            "quiescence took {:?} — pending-counter leak?",
+            started.elapsed()
+        );
+        assert_eq!(cluster.oracle().pending(), 0);
+        let report = cluster.shutdown();
+        assert_eq!(report.killed.len(), blob.len() + 1);
+        for (node, (view, _)) in &report.decisions {
+            for member in view.region().iter() {
+                assert!(
+                    member == x || blob.contains(&member),
+                    "{node} decided live node {member}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -75,6 +75,16 @@ impl<M> Oracle<M> {
         self.state.lock().inboxes.insert(node, sender);
     }
 
+    /// Counts one unit of outstanding work that is not an inbox event
+    /// (a node's `Init` handler, charged at spawn and acknowledged via
+    /// [`Oracle::done`] once the handler ran). Without it, quiescence
+    /// could be declared while a freshly spawned thread — whose `Init`
+    /// subscribes to neighbours and may immediately observe a crash —
+    /// has not been scheduled yet.
+    pub(crate) fn charge(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Sends an inbox event, bumping the pending counter.
     pub(crate) fn post(&self, to: NodeId, event: Inbox<M>) {
         let state = self.state.lock();
@@ -88,13 +98,14 @@ impl<M> Oracle<M> {
         }
     }
 
-    /// Marks one posted event as fully processed.
+    /// Marks one posted event (or charged work unit) as fully processed.
     pub(crate) fn done(&self) {
         self.pending.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Current number of posted-but-unprocessed events.
-    pub(crate) fn pending(&self) -> u64 {
+    /// Current number of posted-but-unprocessed events and charged work
+    /// units (zero exactly when the cluster is quiescent).
+    pub fn pending(&self) -> u64 {
         self.pending.load(Ordering::SeqCst)
     }
 

@@ -45,5 +45,5 @@ pub use adapter::{MulticastMode, ProtoMsg, ProtocolProcess};
 pub use checker::{check_spec, Violation};
 pub use domains::{faulty_clusters, faulty_domains};
 pub use predicate::{PredicateScenario, PredicateScenarioBuilder};
-pub use report::{Decision, RunReport};
+pub use report::{Decision, RunDigest, RunReport};
 pub use scenario::{Scenario, ScenarioBuilder};

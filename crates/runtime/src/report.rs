@@ -77,3 +77,62 @@ impl<D: Debug> RunReport<D> {
         regions
     }
 }
+
+/// Aggregate observations of one run, precomputed for sweep jobs.
+///
+/// The experiment sweeps fan runs out across worker threads and merge
+/// only numbers back: shipping this digest instead of a full
+/// [`RunReport`] keeps the per-job result small and the aggregation
+/// code independent of the report internals. Every field is derived
+/// deterministically from the report, so digests are safe to compare
+/// byte-for-byte across worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDigest {
+    /// Distinct decided regions (sorted, deduplicated).
+    pub decided_regions: Vec<precipice_graph::Region>,
+    /// Number of nodes that decided.
+    pub deciders: usize,
+    /// Total protocol messages sent.
+    pub messages: u64,
+    /// Total protocol bytes sent.
+    pub bytes: u64,
+    /// Most messages sent by any single node.
+    pub max_sent_by_one: u64,
+    /// Highest round any node reached.
+    pub max_round: u32,
+    /// Most consensus instances proposed by any single node.
+    pub max_proposals: u64,
+    /// Failed instances, summed over all nodes.
+    pub failed_instances: u64,
+    /// Rejections issued, summed over all nodes.
+    pub rejects_sent: u64,
+    /// Virtual time of the last decision in ms (0 when nobody decided).
+    pub last_decision_ms: f64,
+    /// CD1–CD7 violations found by [`check_spec`](crate::check_spec).
+    pub violations: usize,
+}
+
+impl<D: Clone + Eq + Debug> RunReport<D> {
+    /// Digests the run for sweep aggregation (runs the CD1–CD7 checker
+    /// to count violations).
+    pub fn digest(&self) -> RunDigest {
+        RunDigest {
+            decided_regions: self.decided_regions(),
+            deciders: self.decisions.len(),
+            messages: self.metrics.messages_sent(),
+            bytes: self.metrics.bytes_sent(),
+            max_sent_by_one: self
+                .metrics
+                .iter_nodes()
+                .map(|(_, m)| m.sent)
+                .max()
+                .unwrap_or(0),
+            max_round: self.stats.values().map(|s| s.max_round).max().unwrap_or(0),
+            max_proposals: self.stats.values().map(|s| s.proposals).max().unwrap_or(0),
+            failed_instances: self.stats.values().map(|s| s.failed_instances).sum(),
+            rejects_sent: self.stats.values().map(|s| s.rejects_sent).sum(),
+            last_decision_ms: self.last_decision_at().map_or(0.0, |t| t.as_millis_f64()),
+            violations: crate::check_spec(self).len(),
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //! - [`figures`] — faithful reconstructions of the paper's Figure 1
 //!   (cities network with conflicting views), Figure 2 (cluster of
 //!   adjacent faulty domains) and Figure 3 (overlap adversary);
+//! - [`sweep`] — the deterministic parallel sweep engine that shards
+//!   experiment jobs across worker threads with byte-identical output
+//!   for any `--jobs` count;
 //! - [`stats`] / [`table`] — summary statistics and markdown/CSV tables
 //!   used by every report binary in `precipice-bench`.
 
@@ -20,4 +23,5 @@
 pub mod figures;
 pub mod patterns;
 pub mod stats;
+pub mod sweep;
 pub mod table;

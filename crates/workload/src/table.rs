@@ -21,6 +21,7 @@ pub struct Table {
     title: String,
     columns: Vec<String>,
     rows: Vec<Vec<String>>,
+    volatile: bool,
 }
 
 impl Table {
@@ -35,7 +36,21 @@ impl Table {
             title: title.into(),
             columns: columns.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
+            volatile: false,
         }
+    }
+
+    /// Marks the table as volatile: its cells hold wall-clock (or other
+    /// machine-dependent) measurements, so determinism diffs and the
+    /// sweep engine's byte-identity checks must skip it.
+    pub fn mark_volatile(mut self) -> Self {
+        self.volatile = true;
+        self
+    }
+
+    /// `true` if the table carries machine-dependent measurements.
+    pub fn is_volatile(&self) -> bool {
+        self.volatile
     }
 
     /// Appends a row.

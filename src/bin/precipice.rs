@@ -6,7 +6,12 @@
 //! precipice --topology torus:16 --region blob:6 --timing cascade:4ms --seed 7
 //! precipice --topology ring:64 --region nodes:3,4,5 --optimized --csv
 //! precipice --topology geometric:200:0.12 --region ball:2 --dot crashed.dot
+//! precipice --topology torus:24 --region blob:8 --runs 32 --jobs 8
 //! ```
+//!
+//! With `--runs k` the same scenario is swept over `k` consecutive
+//! seeds, sharded across `--jobs` worker threads by the deterministic
+//! sweep engine — the output is byte-identical for any worker count.
 //!
 //! Exits non-zero if the run violates the specification (it never should;
 //! `--no-arbitration` exists to see what violations look like).
@@ -16,9 +21,11 @@ use std::process::ExitCode;
 
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::{to_dot, Graph, GridDims, NodeId, Region};
-use precipice::runtime::{check_spec, MulticastMode, Scenario};
+use precipice::runtime::{check_spec, MulticastMode, RunDigest, RunReport, Scenario};
 use precipice::sim::{LatencyModel, SimConfig, SimTime};
 use precipice::workload::patterns::{bfs_ball, blob_of_size, line_region, schedule, CrashTiming};
+use precipice::workload::stats::summarize;
+use precipice::workload::sweep::{self, Jobs};
 use precipice::workload::table::{fmt_num, Table};
 
 const USAGE: &str = "\
@@ -37,6 +44,10 @@ OPTIONS:
     --timing <spec>     simultaneous | cascade:<dur> | spread:<dur>
                         (dur like 4ms, 250us, 1s)   [default: simultaneous]
     --seed <u64>        RNG seed                    [default: 0]
+    --runs <k>          sweep seeds <seed>..<seed>+<k>, aggregated
+                                                    [default: 1]
+    --jobs <n>          sweep worker threads
+                        [default: $PRECIPICE_JOBS, else all cores]
     --optimized         enable early-termination + fast-abort
     --no-arbitration    ABLATION: disable the rejection mechanism
     --sequential-multicast  crash-interruptible multicast loops
@@ -52,6 +63,8 @@ struct Options {
     at: Option<u32>,
     timing: String,
     seed: u64,
+    runs: u64,
+    jobs: Option<usize>,
     optimized: bool,
     no_arbitration: bool,
     sequential_multicast: bool,
@@ -67,6 +80,8 @@ impl Default for Options {
             at: None,
             timing: "simultaneous".into(),
             seed: 0,
+            runs: 1,
+            jobs: None,
             optimized: false,
             no_arbitration: false,
             sequential_multicast: false,
@@ -92,6 +107,23 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
                 opts.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--runs" => {
+                opts.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+                if opts.runs == 0 {
+                    return Err("--runs wants at least one run".to_owned());
+                }
+            }
+            "--jobs" => {
+                let n: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs wants a positive worker count".to_owned());
+                }
+                opts.jobs = Some(n);
             }
             "--optimized" => opts.optimized = true,
             "--no-arbitration" => opts.no_arbitration = true,
@@ -210,7 +242,9 @@ fn parse_timing(spec: &str, seed: u64) -> Result<CrashTiming, String> {
 fn run(opts: &Options) -> Result<bool, String> {
     let graph = parse_topology(&opts.topology, opts.seed)?;
     let region = parse_region(&opts.region, &graph, opts.at)?;
-    let timing = parse_timing(&opts.timing, opts.seed)?;
+    // Validate the spec once up front; the sweep re-parses per seed
+    // below (spread timing derives its schedule from the seed).
+    parse_timing(&opts.timing, opts.seed)?;
 
     if let Some(path) = &opts.dot {
         let crashed: BTreeSet<NodeId> = region.iter().collect();
@@ -226,31 +260,142 @@ fn run(opts: &Options) -> Result<bool, String> {
     };
     protocol.arbitration = !opts.no_arbitration;
 
-    let scenario = Scenario::builder(graph.clone())
-        .name("cli")
-        .crashes(schedule(region.iter(), timing))
-        .protocol(protocol)
-        .multicast(if opts.sequential_multicast {
-            MulticastMode::Sequential
-        } else {
-            MulticastMode::Atomic
-        })
-        .sim_config(SimConfig {
-            seed: opts.seed,
-            latency: LatencyModel::Uniform {
-                min: SimTime::from_micros(200),
-                max: SimTime::from_millis(2),
-            },
-            fd_latency: LatencyModel::Uniform {
-                min: SimTime::from_millis(1),
-                max: SimTime::from_millis(5),
-            },
-            record_trace: true,
-            max_events: Some(100_000_000),
-        })
-        .build();
-    let report = scenario.run();
+    let build = |seed: u64| -> Scenario {
+        let timing = parse_timing(&opts.timing, seed).expect("timing spec validated above");
+        Scenario::builder(graph.clone())
+            .name("cli")
+            .crashes(schedule(region.iter(), timing))
+            .protocol(protocol)
+            .multicast(if opts.sequential_multicast {
+                MulticastMode::Sequential
+            } else {
+                MulticastMode::Atomic
+            })
+            .sim_config(SimConfig {
+                seed,
+                latency: LatencyModel::Uniform {
+                    min: SimTime::from_micros(200),
+                    max: SimTime::from_millis(2),
+                },
+                fd_latency: LatencyModel::Uniform {
+                    min: SimTime::from_millis(1),
+                    max: SimTime::from_millis(5),
+                },
+                record_trace: true,
+                max_events: Some(100_000_000),
+            })
+            .build()
+    };
 
+    if opts.runs > 1 {
+        let jobs = opts.jobs.map(Jobs::new).unwrap_or_else(Jobs::from_env);
+        let seeds: Vec<u64> = (0..opts.runs).map(|i| opts.seed.wrapping_add(i)).collect();
+        let digests = sweep::run(jobs, &seeds, |_, &seed| build(seed).run().digest());
+        return Ok(print_sweep(opts, &graph, &region, &seeds, &digests));
+    }
+    if opts.jobs.is_some() {
+        // On stderr so sweep stdout stays byte-comparable across flags.
+        eprintln!("note: --jobs has no effect on a single run; combine it with --runs <k>");
+    }
+
+    let report = build(opts.seed).run();
+    print_single(opts, &graph, &region, &report)
+}
+
+/// Prints the sweep tables and returns the spec verdict over all runs.
+fn print_sweep(
+    opts: &Options,
+    graph: &Graph,
+    region: &Region,
+    seeds: &[u64],
+    digests: &[RunDigest],
+) -> bool {
+    let mut per_seed = Table::new(
+        format!("sweep ({} runs)", seeds.len()),
+        [
+            "seed",
+            "deciders",
+            "decided regions",
+            "messages",
+            "KB",
+            "converged (ms)",
+            "violations",
+        ],
+    );
+    for (seed, d) in seeds.iter().zip(digests) {
+        per_seed.push_row([
+            seed.to_string(),
+            d.deciders.to_string(),
+            d.decided_regions.len().to_string(),
+            d.messages.to_string(),
+            fmt_num(d.bytes as f64 / 1024.0),
+            fmt_num(d.last_decision_ms),
+            d.violations.to_string(),
+        ]);
+    }
+
+    let msgs: Vec<f64> = digests.iter().map(|d| d.messages as f64).collect();
+    let conv: Vec<f64> = digests.iter().map(|d| d.last_decision_ms).collect();
+    let total_violations: usize = digests.iter().map(|d| d.violations).sum();
+    let msgs_summary = summarize(&msgs);
+    let conv_summary = summarize(&conv);
+    let mut agg = Table::new("aggregate", ["metric", "value"]);
+    agg.push_row([
+        "topology".to_string(),
+        format!("{} ({} nodes)", opts.topology, graph.len()),
+    ]);
+    agg.push_row(["crashed region".to_string(), region.to_string()]);
+    agg.push_row(["runs".to_string(), seeds.len().to_string()]);
+    agg.push_row([
+        "messages (mean/min/max)".to_string(),
+        format!(
+            "{} / {} / {}",
+            fmt_num(msgs_summary.mean),
+            fmt_num(msgs_summary.min),
+            fmt_num(msgs_summary.max)
+        ),
+    ]);
+    agg.push_row([
+        "converged ms (mean/max)".to_string(),
+        format!(
+            "{} / {}",
+            fmt_num(conv_summary.mean),
+            fmt_num(conv_summary.max)
+        ),
+    ]);
+    agg.push_row(["violations".to_string(), total_violations.to_string()]);
+
+    if opts.csv {
+        print!("{}", per_seed.to_csv());
+        println!();
+        print!("{}", agg.to_csv());
+    } else {
+        println!("{per_seed}");
+        println!("{agg}");
+    }
+
+    if total_violations == 0 {
+        println!(
+            "specification: CD1-CD7 all satisfied across {} runs ✓",
+            seeds.len()
+        );
+        true
+    } else {
+        println!(
+            "specification VIOLATED in sweep: {total_violations} violations across {} runs",
+            seeds.len()
+        );
+        false
+    }
+}
+
+/// Prints the single-run tables and verdict (the original CLI contract).
+fn print_single(
+    opts: &Options,
+    graph: &Graph,
+    region: &Region,
+    report: &RunReport<NodeId>,
+) -> Result<bool, String> {
     let mut decisions = Table::new(
         format!("decisions ({} deciders)", report.decisions.len()),
         ["node", "region", "border", "coordinator", "at"],
@@ -298,7 +443,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         println!("{cost}");
     }
 
-    let violations = check_spec(&report);
+    let violations = check_spec(report);
     if violations.is_empty() {
         println!("specification: CD1-CD7 all satisfied ✓");
         Ok(true)
@@ -362,6 +507,10 @@ mod tests {
             "--csv",
             "--dot",
             "/tmp/x.dot",
+            "--runs",
+            "8",
+            "--jobs",
+            "3",
         ])
         .unwrap();
         assert_eq!(opts.topology, "ring:32");
@@ -371,6 +520,8 @@ mod tests {
         assert_eq!(opts.seed, 9);
         assert!(opts.optimized && opts.no_arbitration && opts.sequential_multicast && opts.csv);
         assert_eq!(opts.dot.as_deref(), Some("/tmp/x.dot"));
+        assert_eq!(opts.runs, 8);
+        assert_eq!(opts.jobs, Some(3));
     }
 
     #[test]
@@ -378,6 +529,16 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--seed"]).is_err(), "missing value");
         assert!(parse(&["--seed", "abc"]).is_err(), "bad value");
+    }
+
+    #[test]
+    fn sweep_flags() {
+        let opts = parse(&["--runs", "4", "--jobs", "2"]).unwrap();
+        assert_eq!(opts.runs, 4);
+        assert_eq!(opts.jobs, Some(2));
+        assert!(parse(&["--runs", "0"]).is_err(), "zero runs");
+        assert!(parse(&["--jobs", "0"]).is_err(), "zero workers");
+        assert!(parse(&["--jobs", "many"]).is_err(), "bad value");
     }
 
     #[test]
@@ -438,6 +599,20 @@ mod tests {
             region: "blob:3".into(),
             timing: "cascade:2ms".into(),
             seed: 3,
+            ..Options::default()
+        };
+        assert_eq!(run(&opts), Ok(true));
+    }
+
+    #[test]
+    fn sweep_run_is_clean() {
+        let opts = Options {
+            topology: "torus:6".into(),
+            region: "blob:3".into(),
+            timing: "cascade:2ms".into(),
+            seed: 3,
+            runs: 4,
+            jobs: Some(2),
             ..Options::default()
         };
         assert_eq!(run(&opts), Ok(true));

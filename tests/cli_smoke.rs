@@ -51,6 +51,39 @@ fn optimized_cascade_csv_passes_spec() {
 }
 
 #[test]
+fn seed_sweep_passes_spec_and_is_parallel_deterministic() {
+    // The same sweep sharded across 1 and 3 workers must produce
+    // byte-identical stdout — the sweep engine's determinism contract,
+    // checked end-to-end through the real binary (CI diffs the report
+    // binaries the same way).
+    let base = [
+        "--topology",
+        "torus:8",
+        "--region",
+        "blob:3",
+        "--timing",
+        "cascade:2ms",
+        "--seed",
+        "5",
+        "--runs",
+        "6",
+    ];
+    let serial = precipice(&[&base[..], &["--jobs", "1"]].concat());
+    let parallel = precipice(&[&base[..], &["--jobs", "3"]].concat());
+    assert!(serial.status.success());
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "sweep output depends on worker count"
+    );
+    let stdout = String::from_utf8(serial.stdout).expect("utf-8 stdout");
+    assert!(
+        stdout.contains("CD1-CD7 all satisfied across 6 runs"),
+        "missing sweep verdict in:\n{stdout}"
+    );
+}
+
+#[test]
 fn help_exits_with_usage() {
     let out = precipice(&["--help"]);
     // The CLI prints usage on stderr and exits 2 (usage is the "error"
