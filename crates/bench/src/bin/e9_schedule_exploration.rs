@@ -1,0 +1,17 @@
+//! Report binary: E9 — adversarial schedule exploration per topology.
+//!
+//! Model-checks ring/torus/clustered scenarios across hundreds of
+//! delivery/crash orderings and tables schedules-explored, unique
+//! orderings and violations, plus the planted-bug self-test (see the
+//! `precipice_bench::experiments` module docs for the E1–E9 index).
+//! Run with `cargo run --release -p precipice-bench --bin e9_schedule_exploration -- [--jobs N]`.
+//! `--jobs` (default: `PRECIPICE_JOBS` or all cores) shards the exploration across
+//! worker threads; the output is byte-identical for any worker count.
+
+fn main() {
+    let jobs = precipice_bench::report_jobs();
+    println!("# E9 — adversarial schedule exploration\n");
+    precipice_bench::experiments::print_tables(
+        &precipice_bench::experiments::e9_schedule_exploration(jobs),
+    );
+}

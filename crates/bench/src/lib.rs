@@ -1,6 +1,6 @@
 //! Shared experiment machinery for the report binaries and criterion
 //! benches. See the [`experiments`] module docs for the experiment index
-//! (E1–E8); the binaries under `src/bin/` regenerate each table, and
+//! (E1–E9); the binaries under `src/bin/` regenerate each table, and
 //! `cargo bench -p precipice-bench` runs the criterion suites.
 
 #![forbid(unsafe_code)]

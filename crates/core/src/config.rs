@@ -29,6 +29,17 @@ pub struct ProtocolConfig {
     /// contributes (stalled instances, CD4/CD7 violations). Defaults to
     /// `true`; leave it on outside ablation studies.
     pub arbitration: bool,
+
+    /// **Test-only fault injection.** When `true`, the arbitration guard
+    /// compares ranks *inverted*: a proposer rejects conflicting views
+    /// ranked **above** its own proposal instead of below, so small
+    /// early views kill the large converged view they should yield to.
+    /// This exists purely as a planted bug for the adversarial schedule
+    /// explorer (`precipice check`) to find — it must produce CD
+    /// violations, and the explorer's counterexample machinery is
+    /// exercised against it in CI. Defaults to `false`; never enable it
+    /// outside explorer tests.
+    pub invert_arbitration: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -38,6 +49,7 @@ impl Default for ProtocolConfig {
             early_termination: false,
             fast_abort_on_reject: false,
             arbitration: true,
+            invert_arbitration: false,
         }
     }
 }
@@ -53,7 +65,7 @@ impl ProtocolConfig {
         ProtocolConfig {
             early_termination: true,
             fast_abort_on_reject: true,
-            arbitration: true,
+            ..ProtocolConfig::default()
         }
     }
 
@@ -75,6 +87,14 @@ impl ProtocolConfig {
     /// Returns this config with fast abort set.
     pub fn with_fast_abort(mut self, on: bool) -> Self {
         self.fast_abort_on_reject = on;
+        self
+    }
+
+    /// **Test-only**: returns this config with the planted
+    /// inverted-arbitration bug armed (see
+    /// [`invert_arbitration`](ProtocolConfig::invert_arbitration)).
+    pub fn with_inverted_arbitration(mut self, on: bool) -> Self {
+        self.invert_arbitration = on;
         self
     }
 }

@@ -295,10 +295,18 @@ where
                 .as_ref()
                 .filter(|_| self.config.arbitration)
             {
+                // The planted `invert_arbitration` bug (test-only, for
+                // the schedule explorer) rejects views ranked *above*
+                // the proposal instead of below.
+                let doomed = if self.config.invert_arbitration {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
                 let target = self
                     .received
                     .values()
-                    .filter(|inst| inst.view().rank_cmp(vp) == Ordering::Less)
+                    .filter(|inst| inst.view().rank_cmp(vp) == doomed)
                     .min_by(|a, b| a.view().rank_cmp(b.view()))
                     .map(|inst| inst.view().region().clone());
                 if let Some(low) = target {
@@ -356,9 +364,11 @@ where
     /// notify its border, and ignore it from now on.
     fn do_reject(&mut self, low: View, actions: &mut Vec<Action<P::Value>>) {
         debug_assert!(
-            self.current_view
-                .as_ref()
-                .is_some_and(|vp| low.rank_cmp(vp) == Ordering::Less),
+            self.config.invert_arbitration
+                || self
+                    .current_view
+                    .as_ref()
+                    .is_some_and(|vp| low.rank_cmp(vp) == Ordering::Less),
             "only strictly lower-ranked views are rejected"
         );
         self.stats.rejects_sent += 1;
@@ -395,7 +405,7 @@ where
             self.current_view
         );
         debug_assert!(
-            !self.rejected.contains(view.region()),
+            self.config.invert_arbitration || !self.rejected.contains(view.region()),
             "{}: proposing previously rejected view {}",
             self.me,
             view

@@ -48,7 +48,23 @@ pub enum Violation {
         /// The correct border node that never decided.
         missing: NodeId,
     },
-    /// CD5: two border-sharing deciders disagreed on view or value.
+    /// CD5: two border-sharing deciders disagreed — on the value while
+    /// deciding the *same* view (the uniform case, binding faulty
+    /// deciders too), or on the view itself in any shape other than the
+    /// one legal race below.
+    ///
+    /// A faulty decider holding a view *subsumed* by the other decider's
+    /// (a strict subset it died on) is exempt, exactly as CD6 exempts
+    /// faulty deciders from view convergence: a node
+    /// may crash immediately after deciding `v`, before its last round
+    /// message reaches a border neighbour whose failure detector fires
+    /// first — that neighbour then extends to a larger view. No
+    /// asynchronous protocol can prevent this (the classic uniformity
+    /// impossibility); the adversarial schedule explorer finds the race
+    /// reliably (see `tests/schedule_corpus.rs`), and it is reachable in
+    /// principle under plain latency schedules with an adversarial crash
+    /// timing. What *is* guaranteed uniformly — by Lemma 3's identical
+    /// opinion vectors — is value agreement within an instance.
     UniformBorderAgreement {
         /// First decider.
         p: NodeId,
@@ -195,9 +211,27 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
             }
             match report.decisions.get(&q) {
                 Some(dq) => {
-                    // CD5 is uniform: it binds every decider in the
-                    // border, faulty or not.
-                    if dq.view != dp.view || dq.value != dp.value {
+                    // CD5. Same view: the value is uniform (binds every
+                    // decider, faulty or not — Lemma 3). Different view:
+                    // the only legal shape is a faulty decider that died
+                    // holding a view *subsumed* by the other's (see the
+                    // `UniformBorderAgreement` docs for why that one is
+                    // unavoidable); anything else — including a faulty
+                    // decider holding a conflicting non-subsumed view —
+                    // is a violation.
+                    let broke = if dq.view == dp.view {
+                        dq.value != dp.value
+                    } else {
+                        let died_subsumed =
+                            |stale: &crate::Decision<D>,
+                             bigger: &crate::Decision<D>,
+                             stale_node: NodeId| {
+                                report.is_faulty(stale_node)
+                                    && stale.view.region().is_subset_of(bigger.view.region())
+                            };
+                        !died_subsumed(dp, dq, p) && !died_subsumed(dq, dp, q)
+                    };
+                    if broke {
                         violations.push(Violation::UniformBorderAgreement { p, q });
                     }
                 }
@@ -286,6 +320,88 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::UniformBorderAgreement { .. })));
+    }
+
+    /// The uniformity boundary the schedule explorer mapped out: a
+    /// faulty node that died holding a *subsumed* view is exempt from
+    /// CD5's view agreement (unavoidable — it may crash right after
+    /// deciding), but value uniformity on the *same* view binds faulty
+    /// deciders unconditionally.
+    #[test]
+    fn cd5_exempts_faulty_stale_views_but_not_values() {
+        let base = || {
+            Scenario::builder(path(5))
+                .crash(NodeId(1), SimTime::from_millis(1))
+                .crash(NodeId(2), SimTime::from_millis(2))
+                .build()
+                .run()
+        };
+        // n0 and n3 decided {1,2}. Forge n2 (faulty, crashed at 2ms)
+        // deciding the subsumed view {1} just before its own crash:
+        // legal — no violation.
+        let mut report = base();
+        let small: Region = [NodeId(1)].into_iter().collect();
+        let view = View::new(report.graph.as_ref(), small);
+        report.decisions.insert(
+            NodeId(2),
+            crate::Decision {
+                view,
+                value: NodeId(0),
+                at: SimTime::from_micros(1500),
+            },
+        );
+        assert_eq!(
+            check_spec(&report),
+            Vec::new(),
+            "stale faulty view is legal"
+        );
+
+        // But a faulty decider of the SAME view with a different value
+        // breaks uniformity.
+        let mut report = base();
+        let d0 = report.decisions[&NodeId(0)].clone();
+        report.decisions.insert(
+            NodeId(2),
+            crate::Decision {
+                view: d0.view,
+                value: NodeId(3),
+                at: SimTime::from_micros(1500),
+            },
+        );
+        let violations = check_spec(&report);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::UniformBorderAgreement { .. })),
+            "same-view value disagreement binds faulty deciders: {violations:?}"
+        );
+
+        // A faulty decider whose view is NOT subsumed by the other's
+        // (here: disjoint forged views {n1} vs {n2}) gets no exemption —
+        // only the unavoidable died-on-a-subset race is legal.
+        let mut report = base();
+        let r1: Region = [NodeId(1)].into_iter().collect();
+        let r2: Region = [NodeId(2)].into_iter().collect();
+        let v1 = View::new(report.graph.as_ref(), r1);
+        let v2 = View::new(report.graph.as_ref(), r2);
+        report.decisions.get_mut(&NodeId(0)).unwrap().view = v1;
+        report.decisions.insert(
+            NodeId(2),
+            crate::Decision {
+                view: v2,
+                value: NodeId(0),
+                at: SimTime::from_millis(3),
+            },
+        );
+        let violations = check_spec(&report);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::UniformBorderAgreement { p, q }
+                    if (*p, *q) == (NodeId(0), NodeId(2)) || (*p, *q) == (NodeId(2), NodeId(0))
+            )),
+            "non-subsumed faulty view must not be exempt: {violations:?}"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 mod adapter;
 mod checker;
 mod domains;
+pub mod explore;
 mod predicate;
 mod report;
 mod scenario;
@@ -44,6 +45,9 @@ mod scenario;
 pub use adapter::{MulticastMode, ProtoMsg, ProtocolProcess};
 pub use checker::{check_spec, Violation};
 pub use domains::{faulty_clusters, faulty_domains};
+pub use explore::{
+    probe, render_violations, shrink_schedule, Artifact, Counterexample, ScheduleProbe,
+};
 pub use predicate::{PredicateScenario, PredicateScenarioBuilder};
 pub use report::{Decision, RunDigest, RunReport};
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use precipice_core::{CliffEdgeNode, DecisionPolicy, NodeIdValuePolicy, ProtocolConfig};
 use precipice_graph::{Graph, NodeId};
-use precipice_sim::{SimConfig, SimTime, Simulation, TraceEntry};
+use precipice_sim::{Schedule, SchedulePolicy, SimConfig, SimTime, Simulation, TraceEntry};
 
 use crate::adapter::{MulticastMode, ProtocolProcess};
 use crate::report::{Decision, RunReport};
@@ -44,9 +44,34 @@ impl Scenario {
         self.run_with_policy(|_me| NodeIdValuePolicy)
     }
 
+    /// Runs the scenario under an exploring [`SchedulePolicy`] (with the
+    /// default decision policy) and returns the report together with the
+    /// replayable schedule trace the scheduler recorded — the primitive
+    /// under [`explore`](crate::explore)'s model-checking harness.
+    pub fn run_scheduled(&self, schedule: SchedulePolicy) -> (RunReport<NodeId>, Schedule) {
+        let (report, schedule) = self.run_scheduled_with_policy(|_me| NodeIdValuePolicy, schedule);
+        (report, schedule.unwrap_or_default())
+    }
+
     /// Runs the scenario, constructing each node's decision policy with
     /// `make_policy`.
-    pub fn run_with_policy<P, F>(&self, mut make_policy: F) -> RunReport<P::Value>
+    pub fn run_with_policy<P, F>(&self, make_policy: F) -> RunReport<P::Value>
+    where
+        P: DecisionPolicy,
+        F: FnMut(NodeId) -> P,
+    {
+        self.run_scheduled_with_policy(make_policy, SchedulePolicy::Fifo)
+            .0
+    }
+
+    /// The general runner: decision policy × scheduling policy. The
+    /// second return value is the recorded schedule trace (`None` under
+    /// [`SchedulePolicy::Fifo`], which records nothing).
+    pub fn run_scheduled_with_policy<P, F>(
+        &self,
+        mut make_policy: F,
+        schedule: SchedulePolicy,
+    ) -> (RunReport<P::Value>, Option<Schedule>)
     where
         P: DecisionPolicy,
         F: FnMut(NodeId) -> P,
@@ -61,7 +86,7 @@ impl Scenario {
                 )
             })
             .collect();
-        let mut sim = Simulation::new(self.sim, processes);
+        let mut sim = Simulation::with_policy(self.sim, processes, schedule);
         for &(node, at) in &self.crashes {
             sim.schedule_crash(node, at);
         }
@@ -103,7 +128,7 @@ impl Scenario {
                 .collect()
         });
 
-        RunReport {
+        let report = RunReport {
             graph: Arc::clone(&self.graph),
             crashed,
             decisions,
@@ -112,7 +137,8 @@ impl Scenario {
             message_pairs,
             trace_hash: sim.trace().hash(),
             outcome,
-        }
+        };
+        (report, sim.recorded_schedule())
     }
 }
 

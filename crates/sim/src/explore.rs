@@ -1,0 +1,532 @@
+//! Adversarial schedule exploration: pluggable event-scheduling policies
+//! for [`Simulation`](crate::Simulation).
+//!
+//! The default simulator executes events in latency order — one schedule
+//! per seed. The convergecast/arbitration races that make cliff-edge
+//! consensus hard live precisely in the delivery orders a single
+//! latency sample never visits, so model-checking harnesses need to
+//! *choose* the next event adversarially. A [`SchedulePolicy`] replaces
+//! the latency-ordered queue with a pick over the set of *enabled*
+//! events (every pending event whose per-channel FIFO predecessors have
+//! been delivered — any such order is a legal execution of an
+//! asynchronous reliable-FIFO network, including delaying a crash or a
+//! failure-detector notification past in-flight deliveries).
+//!
+//! Every non-FIFO pick is recorded as a [`Deviation`] — "at decision
+//! step `s`, run event `k` instead of the FIFO choice" — and the
+//! resulting [`Schedule`] is a compact, replayable fingerprint of the
+//! whole execution: replaying it against the same scenario reproduces
+//! the run bit-for-bit (same trace hash), and *shrinking* it is plain
+//! subset minimization over the deviation list (dropping a deviation
+//! means the FIFO event runs at that step instead).
+//!
+//! Policies:
+//!
+//! - [`SchedulePolicy::Fifo`] — the classic latency order `(time, seq)`;
+//!   records no deviations and keeps the binary-heap hot path.
+//! - [`SchedulePolicy::Random`] — uniform pick over all enabled events,
+//!   seeded independently of the latency RNG.
+//! - [`SchedulePolicy::Pcr`] — partial-order-style commutativity
+//!   pruning: events touching *different* nodes commute (handlers are
+//!   atomic and state is per-node), so entropy is only spent permuting
+//!   events that race at the FIFO choice's target node — deliveries to
+//!   the same node, and crash/notification vs. delivery races.
+//! - [`SchedulePolicy::Replay`] — re-applies a recorded [`Schedule`];
+//!   deviations whose event is absent (e.g. after shrinking) fall back
+//!   to the FIFO choice, so every sub-schedule is still meaningful.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use precipice_graph::NodeId;
+
+use crate::SimTime;
+
+/// How [`Simulation::run`](crate::Simulation::run) picks the next event.
+///
+/// Install with
+/// [`Simulation::with_policy`](crate::Simulation::with_policy); the
+/// decisions actually taken are retrievable afterwards via
+/// [`Simulation::recorded_schedule`](crate::Simulation::recorded_schedule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Latency order `(time, seq)` — the default single schedule.
+    Fifo,
+    /// Uniform random pick over the enabled events, from `seed`
+    /// (independent of the latency RNG).
+    Random(u64),
+    /// Commutativity-pruned random pick (see the [module docs](self)):
+    /// permutes only events dependent with the FIFO choice.
+    Pcr(u64),
+    /// Replays a recorded schedule, FIFO everywhere it is silent.
+    Replay(Schedule),
+}
+
+impl SchedulePolicy {
+    /// Short human-readable tag (`fifo`, `random`, `pcr`, `replay`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SchedulePolicy::Fifo => "fifo",
+            SchedulePolicy::Random(_) => "random",
+            SchedulePolicy::Pcr(_) => "pcr",
+            SchedulePolicy::Replay(_) => "replay",
+        }
+    }
+}
+
+/// Identity of a schedulable event, stable across runs that share the
+/// execution prefix up to the event's decision step.
+///
+/// Message deliveries are named by their channel and per-channel
+/// sequence number (`nth` delivery from `from` to `to`), not by
+/// simulator-internal sequence numbers, so a recorded decision still
+/// names "the same" event when earlier deviations are dropped by the
+/// shrinker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKey {
+    /// The `nth` (0-based) delivery on the FIFO channel `from -> to`.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// 0-based per-channel delivery index.
+        nth: u32,
+    },
+    /// The failure-detector notification of `crashed` to `observer`
+    /// (unique per pair: the detector is exactly-once).
+    Notify {
+        /// The subscribed observer.
+        observer: NodeId,
+        /// The crashed node it is notified about.
+        crashed: NodeId,
+    },
+    /// The crash of `node` (idempotent at processing time).
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for EventKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventKey::Deliver { from, to, nth } => write!(f, "D{}>{}#{}", from.0, to.0, nth),
+            EventKey::Notify { observer, crashed } => write!(f, "N{}!{}", observer.0, crashed.0),
+            EventKey::Crash { node } => write!(f, "C{}", node.0),
+        }
+    }
+}
+
+impl FromStr for EventKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let err = || format!("bad event key {s:?}");
+        let num = |t: &str| t.parse::<u32>().map_err(|_| err());
+        match s.as_bytes().first() {
+            Some(b'D') => {
+                let (from, rest) = s[1..].split_once('>').ok_or_else(err)?;
+                let (to, nth) = rest.split_once('#').ok_or_else(err)?;
+                Ok(EventKey::Deliver {
+                    from: NodeId(num(from)?),
+                    to: NodeId(num(to)?),
+                    nth: num(nth)?,
+                })
+            }
+            Some(b'N') => {
+                let (obs, crashed) = s[1..].split_once('!').ok_or_else(err)?;
+                Ok(EventKey::Notify {
+                    observer: NodeId(num(obs)?),
+                    crashed: NodeId(num(crashed)?),
+                })
+            }
+            Some(b'C') => Ok(EventKey::Crash {
+                node: NodeId(num(&s[1..])?),
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// One scheduling decision that deviated from FIFO order: at decision
+/// step `step`, the event named `key` was executed instead of the
+/// latency-ordered choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deviation {
+    /// 0-based decision step (the number of events executed before it).
+    pub step: u64,
+    /// The event that was preferred.
+    pub key: EventKey,
+}
+
+impl fmt::Display for Deviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.step, self.key)
+    }
+}
+
+impl FromStr for Deviation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (step, key) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad deviation {s:?} (want step:key)"))?;
+        Ok(Deviation {
+            step: step
+                .parse()
+                .map_err(|_| format!("bad deviation step in {s:?}"))?,
+            key: key.parse()?,
+        })
+    }
+}
+
+/// A compact, replayable schedule trace: the ordered list of decisions
+/// on which an execution deviated from FIFO order.
+///
+/// The empty schedule denotes the FIFO execution itself. Serializes to
+/// a single line (`Display`/`FromStr`) for counterexample artifacts:
+/// `-` when empty, else space-separated deviations like
+/// `12:D3>5#0 14:N2!7 20:C9`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The deviations, in strictly increasing `step` order.
+    pub deviations: Vec<Deviation>,
+}
+
+impl Schedule {
+    /// The FIFO schedule (no deviations).
+    pub fn fifo() -> Self {
+        Schedule::default()
+    }
+
+    /// Builds a schedule from deviations (must be in increasing `step`
+    /// order for replay to honor all of them).
+    pub fn new(deviations: Vec<Deviation>) -> Self {
+        debug_assert!(
+            deviations.windows(2).all(|w| w[0].step < w[1].step),
+            "deviations must be in strictly increasing step order"
+        );
+        Schedule { deviations }
+    }
+
+    /// Number of scheduling decisions recorded.
+    pub fn len(&self) -> usize {
+        self.deviations.len()
+    }
+
+    /// `true` for the pure-FIFO schedule.
+    pub fn is_empty(&self) -> bool {
+        self.deviations.is_empty()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.deviations.is_empty() {
+            return write!(f, "-");
+        }
+        for (i, d) in self.deviations.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(Schedule::fifo());
+        }
+        let deviations: Result<Vec<Deviation>, String> =
+            s.split_whitespace().map(Deviation::from_str).collect();
+        let deviations = deviations?;
+        if !deviations.windows(2).all(|w| w[0].step < w[1].step) {
+            return Err(format!("deviation steps not strictly increasing in {s:?}"));
+        }
+        Ok(Schedule { deviations })
+    }
+}
+
+/// A schedulable event as presented to the policy: its identity, its
+/// target node (whose handler runs), and its FIFO key.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    /// Index into the simulator's pending list.
+    pub pending_idx: usize,
+    /// Stable identity.
+    pub key: EventKey,
+    /// Node whose state the event touches.
+    pub target: NodeId,
+    /// Scheduled (latency) execution time.
+    pub at: SimTime,
+    /// Global push sequence number (FIFO tie-break).
+    pub seq: u64,
+}
+
+/// Deterministic SplitMix64 — the explorer's private RNG, independent of
+/// the simulator's latency stream.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Random(SplitMix),
+    Pcr(SplitMix),
+    Replay { queue: Vec<Deviation>, next: usize },
+}
+
+/// The engine behind a non-FIFO [`SchedulePolicy`]: picks among enabled
+/// candidates, records deviations, and tracks per-channel delivery
+/// counts for stable [`EventKey`]s.
+#[derive(Debug, Clone)]
+pub(crate) struct Explorer {
+    mode: Mode,
+    recorded: Vec<Deviation>,
+    step: u64,
+    /// Executed deliveries per directed channel (includes deliveries
+    /// dropped at a crashed receiver — they consume a decision too).
+    delivered: BTreeMap<(NodeId, NodeId), u32>,
+}
+
+impl Explorer {
+    /// Builds the engine, or `None` for the FIFO policy (which keeps the
+    /// simulator's heap-based hot path).
+    pub fn new(policy: SchedulePolicy) -> Option<Explorer> {
+        let mode = match policy {
+            SchedulePolicy::Fifo => return None,
+            SchedulePolicy::Random(seed) => Mode::Random(SplitMix(seed ^ 0x5eed_5eed_5eed_5eed)),
+            SchedulePolicy::Pcr(seed) => Mode::Pcr(SplitMix(seed ^ 0x9c12_9c12_9c12_9c12)),
+            SchedulePolicy::Replay(schedule) => Mode::Replay {
+                queue: schedule.deviations,
+                next: 0,
+            },
+        };
+        Some(Explorer {
+            mode,
+            recorded: Vec::new(),
+            step: 0,
+            delivered: BTreeMap::new(),
+        })
+    }
+
+    /// The per-channel delivery count (the `nth` for the next delivery
+    /// on `from -> to`).
+    pub fn channel_count(&self, from: NodeId, to: NodeId) -> u32 {
+        self.delivered.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Picks the candidate to execute next. `fifo` is the index (into
+    /// `candidates`) of the latency-ordered choice. Records a deviation
+    /// when the pick differs from FIFO, and advances the decision step.
+    pub fn choose(&mut self, candidates: &[Candidate], fifo: usize) -> usize {
+        debug_assert!(!candidates.is_empty());
+        let choice = match &mut self.mode {
+            Mode::Random(rng) => rng.below(candidates.len()),
+            Mode::Pcr(rng) => {
+                // Only permute events dependent with the FIFO choice:
+                // those racing at the same target node. Everything else
+                // commutes (atomic handlers, per-node state).
+                let target = candidates[fifo].target;
+                let dependent: Vec<usize> = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.target == target)
+                    .map(|(i, _)| i)
+                    .collect();
+                dependent[rng.below(dependent.len())]
+            }
+            Mode::Replay { queue, next } => {
+                let mut choice = fifo;
+                if let Some(dev) = queue.get(*next) {
+                    if dev.step == self.step {
+                        // Honor the recorded pick if its event is
+                        // enabled; a shrunk/stale deviation silently
+                        // falls back to FIFO.
+                        if let Some(i) = candidates.iter().position(|c| c.key == dev.key) {
+                            choice = i;
+                        }
+                        *next += 1;
+                    }
+                }
+                choice
+            }
+        };
+        if choice != fifo {
+            self.recorded.push(Deviation {
+                step: self.step,
+                key: candidates[choice].key,
+            });
+        }
+        if let EventKey::Deliver { from, to, .. } = candidates[choice].key {
+            *self.delivered.entry((from, to)).or_insert(0) += 1;
+        }
+        self.step += 1;
+        choice
+    }
+
+    /// The deviations taken so far, as a replayable schedule.
+    pub fn recorded(&self) -> Schedule {
+        Schedule {
+            deviations: self.recorded.clone(),
+        }
+    }
+
+    /// Decision steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_key_roundtrips() {
+        let keys = [
+            EventKey::Deliver {
+                from: NodeId(3),
+                to: NodeId(5),
+                nth: 7,
+            },
+            EventKey::Notify {
+                observer: NodeId(0),
+                crashed: NodeId(12),
+            },
+            EventKey::Crash { node: NodeId(9) },
+        ];
+        for k in keys {
+            let s = k.to_string();
+            assert_eq!(s.parse::<EventKey>().unwrap(), k, "roundtrip {s}");
+        }
+        assert!("X1".parse::<EventKey>().is_err());
+        assert!("D3>5".parse::<EventKey>().is_err());
+        assert!("".parse::<EventKey>().is_err());
+    }
+
+    #[test]
+    fn schedule_roundtrips() {
+        let sched = Schedule::new(vec![
+            Deviation {
+                step: 2,
+                key: EventKey::Crash { node: NodeId(1) },
+            },
+            Deviation {
+                step: 9,
+                key: EventKey::Deliver {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    nth: 3,
+                },
+            },
+        ]);
+        let line = sched.to_string();
+        assert_eq!(line, "2:C1 9:D0>1#3");
+        assert_eq!(line.parse::<Schedule>().unwrap(), sched);
+        assert_eq!("-".parse::<Schedule>().unwrap(), Schedule::fifo());
+        assert_eq!("".parse::<Schedule>().unwrap(), Schedule::fifo());
+        assert_eq!(Schedule::fifo().to_string(), "-");
+        // Out-of-order steps are rejected.
+        assert!("9:C1 2:C1".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn splitmix_below_is_deterministic() {
+        let mut a = SplitMix(42);
+        let mut b = SplitMix(42);
+        let xs: Vec<usize> = (0..32).map(|_| a.below(7)).collect();
+        let ys: Vec<usize> = (0..32).map(|_| b.below(7)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| x < 7));
+        // Not constant (sanity).
+        assert!(xs.iter().any(|&x| x != xs[0]));
+    }
+
+    #[test]
+    fn explorer_records_only_deviations() {
+        let mk = |idx: usize, node: u32, seq: u64| Candidate {
+            pending_idx: idx,
+            key: EventKey::Crash { node: NodeId(node) },
+            target: NodeId(node),
+            at: SimTime::ZERO,
+            seq,
+        };
+        // Replay of an empty schedule is pure FIFO and records nothing.
+        let mut ex = Explorer::new(SchedulePolicy::Replay(Schedule::fifo())).unwrap();
+        let cands = [mk(0, 1, 0), mk(1, 2, 1)];
+        assert_eq!(ex.choose(&cands, 0), 0);
+        assert_eq!(ex.choose(&cands, 1), 1);
+        assert!(ex.recorded().is_empty());
+        assert_eq!(ex.steps(), 2);
+
+        // Replaying a deviation at step 1 honors it and re-records it.
+        let sched = Schedule::new(vec![Deviation {
+            step: 1,
+            key: EventKey::Crash { node: NodeId(2) },
+        }]);
+        let mut ex = Explorer::new(SchedulePolicy::Replay(sched.clone())).unwrap();
+        assert_eq!(ex.choose(&cands, 0), 0);
+        assert_eq!(ex.choose(&cands, 0), 1, "deviation picked over fifo");
+        assert_eq!(ex.recorded(), sched);
+
+        // A deviation naming an absent event falls back to FIFO.
+        let stale = Schedule::new(vec![Deviation {
+            step: 0,
+            key: EventKey::Crash { node: NodeId(99) },
+        }]);
+        let mut ex = Explorer::new(SchedulePolicy::Replay(stale)).unwrap();
+        assert_eq!(ex.choose(&cands, 0), 0);
+        assert!(ex.recorded().is_empty());
+    }
+
+    #[test]
+    fn fifo_policy_has_no_engine() {
+        assert!(Explorer::new(SchedulePolicy::Fifo).is_none());
+    }
+
+    #[test]
+    fn channel_counts_advance_on_deliveries() {
+        let deliver = |idx: usize, nth: u32| Candidate {
+            pending_idx: idx,
+            key: EventKey::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                nth,
+            },
+            target: NodeId(1),
+            at: SimTime::ZERO,
+            seq: idx as u64,
+        };
+        let mut ex = Explorer::new(SchedulePolicy::Random(7)).unwrap();
+        assert_eq!(ex.channel_count(NodeId(0), NodeId(1)), 0);
+        ex.choose(&[deliver(0, 0)], 0);
+        assert_eq!(ex.channel_count(NodeId(0), NodeId(1)), 1);
+        ex.choose(&[deliver(0, 1)], 0);
+        assert_eq!(ex.channel_count(NodeId(0), NodeId(1)), 2);
+        assert_eq!(ex.channel_count(NodeId(1), NodeId(0)), 0);
+    }
+}

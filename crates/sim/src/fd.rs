@@ -114,6 +114,61 @@ mod tests {
         assert!(notified.is_empty(), "nobody subscribed to n6");
     }
 
+    /// Fan-out order is part of the determinism contract: observers are
+    /// notified in ascending node-id order, no matter the order in which
+    /// they subscribed (the subscriber set is a `BTreeSet`, not an
+    /// insertion log). The simulator then stamps each notification with
+    /// its own detection latency, so the *wire* order may differ — but
+    /// the scheduling order (and hence the seq tie-break) is pinned.
+    #[test]
+    fn fanout_order_is_ascending_regardless_of_subscription_order() {
+        let mut fd = FailureDetector::new();
+        for obs in [7, 2, 9, 4, 0] {
+            assert!(!fd.subscribe(NodeId(obs), NodeId(5)));
+        }
+        let notified = fd.record_crash(NodeId(5));
+        assert_eq!(
+            notified,
+            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(7), NodeId(9)],
+            "fan-out must be ascending by observer id"
+        );
+    }
+
+    /// Duplicate subscriptions collapse: however many times an observer
+    /// re-subscribes before the crash, the crash yields one notification
+    /// and later re-subscriptions stay silent forever.
+    #[test]
+    fn duplicate_subscriptions_collapse_to_one_notification() {
+        let mut fd = FailureDetector::new();
+        for _ in 0..5 {
+            assert!(!fd.subscribe(NodeId(3), NodeId(8)));
+        }
+        assert_eq!(fd.record_crash(NodeId(8)), vec![NodeId(3)]);
+        for _ in 0..5 {
+            assert!(
+                !fd.subscribe(NodeId(3), NodeId(8)),
+                "notified pairs never fire again"
+            );
+        }
+    }
+
+    /// Crash-before-subscribe is tracked per (observer, target) pair:
+    /// each late subscriber gets its own immediate notification exactly
+    /// once, and pairs on other targets are unaffected.
+    #[test]
+    fn crash_before_subscribe_is_per_pair() {
+        let mut fd = FailureDetector::new();
+        assert!(fd.record_crash(NodeId(1)).is_empty());
+        // Two late observers: both fire, independently.
+        assert!(fd.subscribe(NodeId(4), NodeId(1)));
+        assert!(fd.subscribe(NodeId(5), NodeId(1)));
+        assert!(!fd.subscribe(NodeId(4), NodeId(1)), "exactly once each");
+        // The same observers' subscriptions to a live node stay pending
+        // and fire through the normal path later.
+        assert!(!fd.subscribe(NodeId(4), NodeId(2)));
+        assert_eq!(fd.record_crash(NodeId(2)), vec![NodeId(4)]);
+    }
+
     #[test]
     fn crashed_set_tracks_all_crashes() {
         let mut fd = FailureDetector::new();

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod explore;
 mod fd;
 mod latency;
 mod metrics;
@@ -70,6 +71,7 @@ mod sim;
 mod time;
 mod trace;
 
+pub use explore::{Deviation, EventKey, Schedule, SchedulePolicy};
 pub use fd::FailureDetector;
 pub use latency::LatencyModel;
 pub use metrics::{Metrics, NodeMetrics};

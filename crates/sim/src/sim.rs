@@ -5,6 +5,7 @@ use precipice_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::explore::{Candidate, EventKey, Explorer, Schedule, SchedulePolicy};
 use crate::process::{Command, Context, MessageSize, Process};
 use crate::trace::{Trace, TraceEntry};
 use crate::{FailureDetector, LatencyModel, Metrics, SimTime};
@@ -127,6 +128,11 @@ pub struct Simulation<P: Process> {
     processes: Vec<P>,
     crashed: Vec<bool>,
     queue: BinaryHeap<Entry<P::Msg>>,
+    /// Pending events in push (seq) order — used instead of `queue` when
+    /// an exploring [`SchedulePolicy`] is installed, so the scheduler can
+    /// pick any enabled event, not just the latency-ordered head.
+    pending: Vec<Entry<P::Msg>>,
+    explorer: Option<Explorer>,
     /// Last scheduled delivery time per directed channel; clamping new
     /// deliveries to it keeps channels FIFO under jittery latency.
     ///
@@ -151,7 +157,7 @@ impl<P: Process> std::fmt::Debug for Simulation<P> {
         f.debug_struct("Simulation")
             .field("nodes", &self.processes.len())
             .field("time", &self.time)
-            .field("queued", &self.queue.len())
+            .field("queued", &(self.queue.len() + self.pending.len()))
             .field("events_processed", &self.events_processed)
             .finish()
     }
@@ -159,8 +165,18 @@ impl<P: Process> std::fmt::Debug for Simulation<P> {
 
 impl<P: Process> Simulation<P> {
     /// Creates a simulation over `processes`; the process at index `i`
-    /// is node `NodeId(i)`.
+    /// is node `NodeId(i)`. Events execute in latency order
+    /// ([`SchedulePolicy::Fifo`]).
     pub fn new(config: SimConfig, processes: Vec<P>) -> Self {
+        Simulation::with_policy(config, processes, SchedulePolicy::Fifo)
+    }
+
+    /// Creates a simulation whose event order is chosen by `policy` (see
+    /// [`explore`](crate::explore)). With [`SchedulePolicy::Fifo`] this
+    /// is exactly [`Simulation::new`]; the other policies trade the
+    /// binary-heap hot path for a linear scan over pending events, which
+    /// is what a model-checking run wants anyway.
+    pub fn with_policy(config: SimConfig, processes: Vec<P>, policy: SchedulePolicy) -> Self {
         let n = processes.len();
         Simulation {
             rng: StdRng::seed_from_u64(config.seed),
@@ -169,6 +185,8 @@ impl<P: Process> Simulation<P> {
             crashed: vec![false; n],
             processes,
             queue: BinaryHeap::new(),
+            pending: Vec::new(),
+            explorer: Explorer::new(policy),
             fifo_last: vec![Vec::new(); n],
             fd: FailureDetector::new(),
             metrics: Metrics::default(),
@@ -211,13 +229,24 @@ impl<P: Process> Simulation<P> {
     }
 
     /// Runs until quiescence or until the configured event cap.
+    ///
+    /// # Event ordering
+    ///
+    /// Under the default [`SchedulePolicy::Fifo`], events pop in strict
+    /// `(time, seq)` order, where `seq` is the monotone sequence number
+    /// assigned at scheduling time — events carrying **equal
+    /// timestamps** therefore execute in the order they were scheduled,
+    /// independent of binary-heap internals (the heap's comparator is
+    /// total over `(time, seq)`, so there are no ties for it to break
+    /// arbitrarily). Under an exploring policy the scheduler picks among
+    /// all enabled events; virtual time is then the running maximum of
+    /// the executed events' scheduled times (it never runs backwards).
     pub fn run(&mut self) -> RunOutcome {
         self.start_if_needed();
-        while let Some(entry) = self.queue.pop() {
+        while self.has_pending() {
             if let Some(cap) = self.config.max_events {
                 if self.events_processed >= cap {
-                    // Put the event back so a later `run` could resume.
-                    self.queue.push(entry);
+                    // Events stay queued so a later `run` could resume.
                     self.metrics.set_finished_at(self.time);
                     return RunOutcome::LimitReached {
                         events: self.events_processed,
@@ -225,9 +254,13 @@ impl<P: Process> Simulation<P> {
                     };
                 }
             }
+            let entry = self.pop_next().expect("has_pending checked");
             self.events_processed += 1;
-            debug_assert!(entry.at >= self.time, "time went backwards");
-            self.time = entry.at;
+            debug_assert!(
+                self.explorer.is_some() || entry.at >= self.time,
+                "time went backwards"
+            );
+            self.time = self.time.max(entry.at);
             self.dispatch(entry.kind);
         }
         self.metrics.set_finished_at(self.time);
@@ -235,6 +268,89 @@ impl<P: Process> Simulation<P> {
             events: self.events_processed,
             at: self.time,
         }
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.queue.is_empty() || !self.pending.is_empty()
+    }
+
+    /// Pops the next event: the latency-ordered head under FIFO, or the
+    /// installed policy's pick over the *enabled* events otherwise. An
+    /// event is enabled unless an earlier message on the same FIFO
+    /// channel is still pending (delivering it first would violate the
+    /// channel contract); crashes and failure-detector notifications
+    /// are always enabled.
+    fn pop_next(&mut self) -> Option<Entry<P::Msg>> {
+        let Some(explorer) = self.explorer.as_mut() else {
+            return self.queue.pop();
+        };
+        if self.pending.is_empty() {
+            return None;
+        }
+        // `pending` is in push order, so the first entry seen per channel
+        // is the channel's earliest (per-channel FIFO clamping also makes
+        // it the earliest-timed, hence the global `(time, seq)` minimum
+        // is always enabled and FIFO replay is exact).
+        let mut earliest: std::collections::BTreeMap<(NodeId, NodeId), usize> =
+            std::collections::BTreeMap::new();
+        for (i, e) in self.pending.iter().enumerate() {
+            if let EventKind::Deliver { to, from, .. } = e.kind {
+                earliest.entry((from, to)).or_insert(i);
+            }
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (i, e) in self.pending.iter().enumerate() {
+            let (key, target) = match e.kind {
+                EventKind::Deliver { to, from, .. } => {
+                    if earliest[&(from, to)] != i {
+                        continue;
+                    }
+                    let key = EventKey::Deliver {
+                        from,
+                        to,
+                        nth: explorer.channel_count(from, to),
+                    };
+                    (key, to)
+                }
+                EventKind::Notify { to, crashed } => (
+                    EventKey::Notify {
+                        observer: to,
+                        crashed,
+                    },
+                    to,
+                ),
+                EventKind::Crash { node } => (EventKey::Crash { node }, node),
+            };
+            candidates.push(Candidate {
+                pending_idx: i,
+                key,
+                target,
+                at: e.at,
+                seq: e.seq,
+            });
+        }
+        let fifo = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.at, c.seq))
+            .map(|(i, _)| i)
+            .expect("pending is non-empty");
+        let choice = explorer.choose(&candidates, fifo);
+        Some(self.pending.remove(candidates[choice].pending_idx))
+    }
+
+    /// The scheduling deviations the installed exploring policy actually
+    /// took so far, as a replayable [`Schedule`]; `None` under the
+    /// default FIFO policy. After a [`SchedulePolicy::Replay`] run this
+    /// returns the deviations that were *honored* (stale ones dropped),
+    /// which is what the shrinker starts from.
+    pub fn recorded_schedule(&self) -> Option<Schedule> {
+        self.explorer.as_ref().map(Explorer::recorded)
+    }
+
+    /// Scheduling decisions taken so far under an exploring policy.
+    pub fn scheduling_steps(&self) -> Option<u64> {
+        self.explorer.as_ref().map(Explorer::steps)
     }
 
     fn start_if_needed(&mut self) {
@@ -360,7 +476,13 @@ impl<P: Process> Simulation<P> {
     fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, kind });
+        let entry = Entry { at, seq, kind };
+        if self.explorer.is_some() {
+            // Push order == seq order: `pending` stays sorted by seq.
+            self.pending.push(entry);
+        } else {
+            self.queue.push(entry);
+        }
     }
 
     /// `true` if `node` has crashed (per the authoritative schedule, as of
@@ -652,6 +774,183 @@ mod tests {
             1,
             "exactly one notification"
         );
+    }
+
+    /// Satellite audit: events carrying the *same* timestamp must pop in
+    /// a documented, heap-independent order — `(time, seq)`, i.e. the
+    /// order they were scheduled. Three senders fire at start with a
+    /// constant latency, so all deliveries land at exactly t=1ms; the
+    /// receiver must observe them in send order.
+    #[test]
+    fn equal_timestamp_events_pop_in_schedule_order() {
+        let mut a = Recorder::quiet();
+        a.sends_on_start = vec![(NodeId(3), Blob(vec![0])), (NodeId(3), Blob(vec![1]))];
+        let mut b = Recorder::quiet();
+        b.sends_on_start = vec![(NodeId(3), Blob(vec![2]))];
+        let mut c = Recorder::quiet();
+        c.sends_on_start = vec![(NodeId(3), Blob(vec![3])), (NodeId(3), Blob(vec![4]))];
+        let mut sim = Simulation::new(
+            SimConfig::default(), // constant 1ms latency: all ties
+            vec![a, b, c, Recorder::quiet()],
+        );
+        assert!(sim.run().is_quiescent());
+        let got: Vec<(SimTime, u8)> = sim
+            .process(NodeId(3))
+            .received
+            .iter()
+            .map(|(t, _, m)| (*t, m[0]))
+            .collect();
+        // Every delivery at the same instant...
+        assert!(got.iter().all(|(t, _)| *t == SimTime::from_millis(1)));
+        // ...in exactly the order `on_start` scheduled the sends (node 0
+        // starts before node 1 before node 2; per-node sends in order).
+        assert_eq!(
+            got.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "same-timestamp pops must follow the (time, seq) contract"
+        );
+    }
+
+    #[test]
+    fn explored_random_schedule_is_deterministic_and_replayable() {
+        use crate::explore::SchedulePolicy;
+        let build = || {
+            let mut a = Recorder::quiet();
+            a.sends_on_start = (0..12u8).map(|i| (NodeId(1), Blob(vec![i]))).collect();
+            let mut b = Recorder::quiet();
+            b.sends_on_start = (0..12u8).map(|i| (NodeId(0), Blob(vec![i]))).collect();
+            let mut c = Recorder::quiet();
+            c.sends_on_start = vec![(NodeId(0), Blob(vec![99])), (NodeId(1), Blob(vec![98]))];
+            vec![a, b, c]
+        };
+        let run = |policy: SchedulePolicy| {
+            let mut sim = Simulation::with_policy(jittery_config(5), build(), policy);
+            assert!(sim.run().is_quiescent());
+            let sched = sim.recorded_schedule().expect("exploring policy");
+            (sim.trace().hash(), sched)
+        };
+        // Same seed, same schedule; different seed, (almost surely)
+        // different order.
+        let (h1, s1) = run(SchedulePolicy::Random(7));
+        let (h2, s2) = run(SchedulePolicy::Random(7));
+        assert_eq!(h1, h2);
+        assert_eq!(s1, s2);
+        let (h3, _) = run(SchedulePolicy::Random(8));
+        assert_ne!(h1, h3, "different schedule seed, different order");
+        assert!(!s1.is_empty(), "a random schedule deviates somewhere");
+
+        // Replaying the recorded deviations reproduces the run exactly.
+        let (hr, sr) = run(SchedulePolicy::Replay(s1.clone()));
+        assert_eq!(hr, h1, "replay must be bit-identical");
+        assert_eq!(sr, s1, "all honored deviations are re-recorded");
+    }
+
+    #[test]
+    fn empty_replay_matches_fifo_exactly() {
+        use crate::explore::{Schedule, SchedulePolicy};
+        let build = || {
+            let mut a = Recorder::quiet();
+            a.sends_on_start = (0..10u8).map(|i| (NodeId(1), Blob(vec![i]))).collect();
+            a.monitors_on_start = vec![NodeId(1)];
+            vec![a, Recorder::quiet()]
+        };
+        let mut fifo = Simulation::new(jittery_config(3), build());
+        fifo.schedule_crash(NodeId(1), SimTime::from_millis(9));
+        fifo.run();
+        let mut replay = Simulation::with_policy(
+            jittery_config(3),
+            build(),
+            SchedulePolicy::Replay(Schedule::fifo()),
+        );
+        replay.schedule_crash(NodeId(1), SimTime::from_millis(9));
+        replay.run();
+        assert_eq!(fifo.trace().hash(), replay.trace().hash());
+        assert!(replay.recorded_schedule().unwrap().is_empty());
+        assert!(fifo.recorded_schedule().is_none(), "fifo records nothing");
+    }
+
+    #[test]
+    fn explored_fifo_channels_stay_fifo() {
+        use crate::explore::SchedulePolicy;
+        // Even under aggressive random scheduling, per-channel order is
+        // inviolable: the receiver sees each sender's bytes in order.
+        let mut a = Recorder::quiet();
+        a.sends_on_start = (0..30u8).map(|i| (NodeId(2), Blob(vec![i]))).collect();
+        let mut b = Recorder::quiet();
+        b.sends_on_start = (100..130u8).map(|i| (NodeId(2), Blob(vec![i]))).collect();
+        let mut sim = Simulation::with_policy(
+            jittery_config(11),
+            vec![a, b, Recorder::quiet()],
+            SchedulePolicy::Random(1234),
+        );
+        assert!(sim.run().is_quiescent());
+        let per_sender = |who: NodeId| -> Vec<u8> {
+            sim.process(NodeId(2))
+                .received
+                .iter()
+                .filter(|(_, from, _)| *from == who)
+                .map(|(_, _, m)| m[0])
+                .collect()
+        };
+        assert_eq!(per_sender(NodeId(0)), (0..30u8).collect::<Vec<_>>());
+        assert_eq!(per_sender(NodeId(1)), (100..130u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explored_crash_can_be_delayed_past_deliveries() {
+        use crate::explore::{Deviation, EventKey, Schedule, SchedulePolicy};
+        // Node 0 sends one message to node 1 at t=1ms; node 1 is
+        // scheduled to crash at t=0. Under FIFO the crash lands first and
+        // the message is dropped. A one-deviation schedule delivers the
+        // message *before* the crash — the crash/delivery race the
+        // explorer exists to exercise.
+        let build = || {
+            let mut a = Recorder::quiet();
+            a.sends_on_start = vec![(NodeId(1), Blob(vec![7]))];
+            vec![a, Recorder::quiet()]
+        };
+        let mut fifo = Simulation::new(SimConfig::default(), build());
+        fifo.schedule_crash(NodeId(1), SimTime::ZERO);
+        fifo.run();
+        assert_eq!(fifo.metrics().messages_dropped(), 1);
+
+        let flip = Schedule::new(vec![Deviation {
+            step: 0,
+            key: EventKey::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                nth: 0,
+            },
+        }]);
+        let mut sim =
+            Simulation::with_policy(SimConfig::default(), build(), SchedulePolicy::Replay(flip));
+        sim.schedule_crash(NodeId(1), SimTime::ZERO);
+        assert!(sim.run().is_quiescent());
+        assert_eq!(sim.metrics().messages_dropped(), 0);
+        assert_eq!(sim.process(NodeId(1)).received.len(), 1);
+        assert!(sim.is_crashed(NodeId(1)), "the crash still happens");
+        assert_eq!(sim.recorded_schedule().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pcr_only_permutes_same_target_races() {
+        use crate::explore::SchedulePolicy;
+        // Two disjoint sender->receiver pairs: every pending event
+        // targets a different node than the FIFO head, so PCR never
+        // deviates and the run equals FIFO bit-for-bit.
+        let build = || {
+            let mut a = Recorder::quiet();
+            a.sends_on_start = (0..8u8).map(|i| (NodeId(1), Blob(vec![i]))).collect();
+            let mut c = Recorder::quiet();
+            c.sends_on_start = (0..8u8).map(|i| (NodeId(3), Blob(vec![i]))).collect();
+            vec![a, Recorder::quiet(), c, Recorder::quiet()]
+        };
+        let mut fifo = Simulation::new(jittery_config(2), build());
+        fifo.run();
+        let mut pcr = Simulation::with_policy(jittery_config(2), build(), SchedulePolicy::Pcr(999));
+        pcr.run();
+        assert_eq!(fifo.trace().hash(), pcr.trace().hash());
+        assert!(pcr.recorded_schedule().unwrap().is_empty());
     }
 
     #[test]

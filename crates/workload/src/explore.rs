@@ -1,0 +1,324 @@
+//! The budgeted, parallel adversarial-schedule explorer: fan a schedule
+//! budget across the deterministic [`sweep`](crate::sweep) workers, run
+//! [`check_spec`](precipice_runtime::check_spec) on every probe, and
+//! shrink violating schedules to minimal replayable counterexamples.
+//!
+//! This is the model-checking front end over the per-schedule
+//! primitives in [`precipice_runtime::explore`]: probe `0` is always
+//! the FIFO baseline, probes `1..budget` draw from the configured
+//! [`PolicyMix`] with per-probe seeds derived from the exploration
+//! seed. Everything — probe order, early stopping, counterexample
+//! selection, shrinking — is a pure function of `(scenario, config)`,
+//! so the outcome (and any table derived from it) is **byte-identical
+//! for any `--jobs` worker count**.
+
+use precipice_runtime::explore as rt;
+use precipice_runtime::{Counterexample, Scenario};
+use precipice_sim::{Schedule, SchedulePolicy};
+
+use crate::sweep::{self, Jobs};
+
+/// Which exploring policies the budget is spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyMix {
+    /// Uniform random schedule fuzzing only.
+    Random,
+    /// Commutativity-pruned (PCR) fuzzing only.
+    Pcr,
+    /// Alternate between random (odd probes) and PCR (even probes).
+    #[default]
+    Mixed,
+}
+
+impl PolicyMix {
+    /// Parses `random` / `pcr` / `mixed`.
+    pub fn parse(s: &str) -> Result<PolicyMix, String> {
+        match s {
+            "random" => Ok(PolicyMix::Random),
+            "pcr" => Ok(PolicyMix::Pcr),
+            "mixed" => Ok(PolicyMix::Mixed),
+            other => Err(format!(
+                "unknown policy {other:?} (want random | pcr | mixed)"
+            )),
+        }
+    }
+
+    /// The policy of probe `index` under exploration seed `seed`
+    /// (probe 0 is always the FIFO baseline).
+    pub fn policy_for(self, seed: u64, index: u64) -> SchedulePolicy {
+        if index == 0 {
+            return SchedulePolicy::Fifo;
+        }
+        // Distinct stream per probe, decorrelated from consecutive seeds.
+        let probe_seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(index.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        match self {
+            PolicyMix::Random => SchedulePolicy::Random(probe_seed),
+            PolicyMix::Pcr => SchedulePolicy::Pcr(probe_seed),
+            PolicyMix::Mixed => {
+                if index % 2 == 1 {
+                    SchedulePolicy::Random(probe_seed)
+                } else {
+                    SchedulePolicy::Pcr(probe_seed)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of one exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Number of schedules to explore (including the FIFO baseline).
+    pub budget: u64,
+    /// Exploration seed (drives every probe's schedule randomness).
+    pub seed: u64,
+    /// Which policies to spend the budget on.
+    pub policy: PolicyMix,
+    /// Stop the feed once this many violating schedules were found
+    /// (`0` = always run the whole budget). Stopping happens on fixed
+    /// chunk boundaries, so the explored prefix is worker-independent.
+    pub stop_after: usize,
+    /// Shrink at most this many counterexamples (the earliest probes).
+    pub max_counterexamples: usize,
+    /// Replay budget per shrink (ddmin iterations).
+    pub shrink_runs: u64,
+}
+
+impl Default for ExploreConfig {
+    /// 1000 schedules, seed 0, mixed policies, full budget, up to 3
+    /// shrunk counterexamples at 400 replays each.
+    fn default() -> Self {
+        ExploreConfig {
+            budget: 1000,
+            seed: 0,
+            policy: PolicyMix::Mixed,
+            stop_after: 0,
+            max_counterexamples: 3,
+            shrink_runs: 400,
+        }
+    }
+}
+
+/// Fixed chunk size of the budgeted feed (worker-independent early
+/// stopping granularity).
+pub const FEED_CHUNK: usize = 128;
+
+/// Compact per-probe observation (full reports never cross the worker
+/// boundary; a violating probe additionally ships its schedule for the
+/// shrinker).
+#[derive(Debug, Clone)]
+pub struct ProbeDigest {
+    /// Probe index in `0..budget` (0 = FIFO baseline).
+    pub index: u64,
+    /// Policy tag (`fifo`, `random`, `pcr`).
+    pub policy: &'static str,
+    /// Trace hash of the run (ordering fingerprint).
+    pub trace_hash: u64,
+    /// Deviations the scheduler took.
+    pub deviations: usize,
+    /// Events the run processed.
+    pub events: u64,
+    /// Number of CD violations found by `check_spec`.
+    pub violations: usize,
+    /// The recorded schedule, kept only for violating probes.
+    pub schedule: Option<Schedule>,
+}
+
+/// Everything an exploration produced.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Per-probe digests, in probe order (a prefix of the budget when
+    /// `stop_after` cut the feed short).
+    pub probes: Vec<ProbeDigest>,
+    /// Shrunk counterexamples as `(probe index, counterexample)`, for
+    /// the earliest violating probes.
+    pub counterexamples: Vec<(u64, Counterexample)>,
+}
+
+impl ExploreOutcome {
+    /// Schedules explored.
+    pub fn schedules(&self) -> u64 {
+        self.probes.len() as u64
+    }
+
+    /// Distinct event orderings observed (distinct trace hashes).
+    pub fn unique_orderings(&self) -> u64 {
+        let mut hashes: Vec<u64> = self.probes.iter().map(|p| p.trace_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.len() as u64
+    }
+
+    /// Probes on which `check_spec` reported at least one violation.
+    pub fn violating(&self) -> u64 {
+        self.probes.iter().filter(|p| p.violations > 0).count() as u64
+    }
+
+    /// Length of the smallest shrunk counterexample, if any.
+    pub fn min_counterexample_len(&self) -> Option<usize> {
+        self.counterexamples
+            .iter()
+            .map(|(_, ce)| ce.schedule.len())
+            .min()
+    }
+
+    /// Largest deviation count over all probes (how far from FIFO the
+    /// exploration wandered).
+    pub fn max_deviations(&self) -> usize {
+        self.probes.iter().map(|p| p.deviations).max().unwrap_or(0)
+    }
+}
+
+/// Explores `cfg.budget` schedules of `scenario` across `jobs` workers
+/// and shrinks the earliest violating schedules into replayable
+/// counterexamples. Deterministic for any worker count (see the
+/// [module docs](self)).
+pub fn explore_scenario(scenario: &Scenario, cfg: &ExploreConfig, jobs: Jobs) -> ExploreOutcome {
+    // Streamed feed: memory tracks the processed prefix, never the raw
+    // budget, so `--budget 4000000000 --stop-after 1` is fine.
+    let budget = usize::try_from(cfg.budget.max(1)).unwrap_or(usize::MAX);
+    let probes = sweep::run_until_n(
+        jobs,
+        budget,
+        FEED_CHUNK,
+        |index| {
+            let index = index as u64;
+            let policy = cfg.policy.policy_for(cfg.seed, index);
+            let tag = policy.tag();
+            let p = rt::probe(scenario, policy);
+            let violations = p.violations.len();
+            ProbeDigest {
+                index,
+                policy: tag,
+                trace_hash: p.report.trace_hash,
+                deviations: p.schedule.len(),
+                events: p.report.outcome.events(),
+                violations,
+                schedule: (violations > 0).then_some(p.schedule),
+            }
+        },
+        |done| {
+            cfg.stop_after > 0 && done.iter().filter(|p| p.violations > 0).count() >= cfg.stop_after
+        },
+    );
+
+    // Shrink the earliest violating probes, serially and in probe order
+    // (the parallel phase is over; shrinking is replay-bound anyway).
+    // Different probes often minimize to the *same* run — report each
+    // distinct minimized counterexample once.
+    let mut counterexamples: Vec<(u64, Counterexample)> = Vec::new();
+    // Bound the shrink work: duplicates cost replays too.
+    let attempts = cfg.max_counterexamples.saturating_mul(4);
+    for p in probes.iter().filter(|p| p.violations > 0).take(attempts) {
+        if counterexamples.len() >= cfg.max_counterexamples {
+            break;
+        }
+        let schedule = p
+            .schedule
+            .as_ref()
+            .expect("violating probes keep schedules");
+        let ce = rt::shrink_schedule(scenario, schedule, cfg.shrink_runs);
+        if counterexamples
+            .iter()
+            .all(|(_, seen)| seen.trace_hash != ce.trace_hash)
+        {
+            counterexamples.push((p.index, ce));
+        }
+    }
+
+    ExploreOutcome {
+        probes,
+        counterexamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_core::ProtocolConfig;
+    use precipice_graph::{torus, GridDims, NodeId};
+    use precipice_sim::SimTime;
+
+    fn scenario(inverted: bool) -> Scenario {
+        Scenario::builder(torus(GridDims::square(4)))
+            .crash(NodeId(5), SimTime::from_millis(1))
+            .crash(NodeId(6), SimTime::from_millis(3))
+            .protocol(ProtocolConfig::faithful().with_inverted_arbitration(inverted))
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn policy_mix_parses_and_assigns() {
+        assert_eq!(PolicyMix::parse("random").unwrap(), PolicyMix::Random);
+        assert_eq!(PolicyMix::parse("pcr").unwrap(), PolicyMix::Pcr);
+        assert_eq!(PolicyMix::parse("mixed").unwrap(), PolicyMix::Mixed);
+        assert!(PolicyMix::parse("chaos").is_err());
+        assert_eq!(PolicyMix::Mixed.policy_for(0, 0), SchedulePolicy::Fifo);
+        assert!(matches!(
+            PolicyMix::Mixed.policy_for(0, 1),
+            SchedulePolicy::Random(_)
+        ));
+        assert!(matches!(
+            PolicyMix::Mixed.policy_for(0, 2),
+            SchedulePolicy::Pcr(_)
+        ));
+        assert!(matches!(
+            PolicyMix::Random.policy_for(0, 2),
+            SchedulePolicy::Random(_)
+        ));
+        assert!(matches!(
+            PolicyMix::Pcr.policy_for(0, 1),
+            SchedulePolicy::Pcr(_)
+        ));
+    }
+
+    #[test]
+    fn outcome_is_worker_independent() {
+        let s = scenario(false);
+        let cfg = ExploreConfig {
+            budget: 40,
+            seed: 9,
+            ..ExploreConfig::default()
+        };
+        let a = explore_scenario(&s, &cfg, Jobs::serial());
+        let b = explore_scenario(&s, &cfg, Jobs::new(4));
+        assert_eq!(a.schedules(), 40);
+        assert_eq!(a.violating(), 0, "correct protocol stays clean");
+        assert!(a.unique_orderings() > 1, "exploration found new orders");
+        let fingerprint = |o: &ExploreOutcome| -> Vec<(u64, u64, usize, usize)> {
+            o.probes
+                .iter()
+                .map(|p| (p.index, p.trace_hash, p.deviations, p.violations))
+                .collect()
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn planted_bug_yields_shrunk_counterexample() {
+        let s = scenario(true);
+        let cfg = ExploreConfig {
+            budget: 64,
+            seed: 1,
+            stop_after: 1,
+            max_counterexamples: 1,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore_scenario(&s, &cfg, Jobs::new(2));
+        assert!(outcome.violating() > 0, "planted bug must be caught");
+        let (_, ce) = outcome
+            .counterexamples
+            .first()
+            .expect("a counterexample was shrunk");
+        assert!(!ce.violations.is_empty());
+        assert!(
+            ce.schedule.len() <= 25,
+            "shrunk to {} decisions",
+            ce.schedule.len()
+        );
+        assert!(outcome.min_counterexample_len().unwrap() <= 25);
+    }
+}

@@ -14,12 +14,16 @@
 //! - [`sweep`] — the deterministic parallel sweep engine that shards
 //!   experiment jobs across worker threads with byte-identical output
 //!   for any `--jobs` count;
+//! - [`explore`] — the adversarial schedule explorer: fans a schedule
+//!   budget across the sweep workers, checks CD1–CD7 on every probe,
+//!   and shrinks violations to minimal replayable counterexamples;
 //! - [`stats`] / [`table`] — summary statistics and markdown/CSV tables
 //!   used by every report binary in `precipice-bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod explore;
 pub mod figures;
 pub mod patterns;
 pub mod stats;

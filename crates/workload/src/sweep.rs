@@ -175,6 +175,54 @@ where
         .collect()
 }
 
+/// Budgeted job feed: runs `job` over `inputs` in fixed chunks of
+/// `chunk` (sharded across `jobs` workers inside each chunk via
+/// [`run`]), calling `stop` on the merged results after every chunk and
+/// cutting the feed short when it returns `true`. Returns the processed
+/// prefix, in input order.
+///
+/// Chunk boundaries depend only on `chunk` and the input length — never
+/// on the worker count — so the processed prefix (and therefore any
+/// table derived from it) is **byte-identical for any `jobs`**, exactly
+/// like [`run`]. This is what lets the schedule explorer stop a large
+/// budget early on the first counterexample without giving up the
+/// determinism contract.
+pub fn run_until<I, T, F, S>(jobs: Jobs, inputs: &[I], chunk: usize, job: F, stop: S) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+    S: FnMut(&[T]) -> bool,
+{
+    run_until_n(jobs, inputs.len(), chunk, |i| job(i, &inputs[i]), stop)
+}
+
+/// [`run_until`] over the index range `0..n` instead of an input slice:
+/// the feed is *streamed* — only one chunk of indices is materialized
+/// at a time, so an enormous budget with an early `stop` costs memory
+/// proportional to the processed prefix, never to `n`. Same determinism
+/// contract as [`run_until`].
+pub fn run_until_n<T, F, S>(jobs: Jobs, n: usize, chunk: usize, job: F, mut stop: S) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    S: FnMut(&[T]) -> bool,
+{
+    let chunk = chunk.max(1);
+    let mut results: Vec<T> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = start.saturating_add(chunk).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        results.extend(run(jobs, &indices, |_, &i| job(i)));
+        if stop(&results) {
+            break;
+        }
+        start = end;
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +277,45 @@ mod tests {
     fn more_workers_than_jobs() {
         let inputs: Vec<u32> = (0..3).collect();
         assert_eq!(run(Jobs::new(64), &inputs, |_, &x| x * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn run_until_stops_on_chunk_boundaries_deterministically() {
+        let inputs: Vec<u32> = (0..100).collect();
+        // Stop once any processed result exceeds 41: that happens inside
+        // the 5th chunk of 10, so exactly 50 results come back — for any
+        // worker count.
+        let go = |jobs: Jobs| {
+            run_until(
+                jobs,
+                &inputs,
+                10,
+                |i, &x| (i as u32) * 1000 + x,
+                |done| done.iter().any(|&r| r % 1000 > 41),
+            )
+        };
+        let serial = go(Jobs::serial());
+        let parallel = go(Jobs::new(4));
+        assert_eq!(serial.len(), 50, "cut at the chunk boundary after 42");
+        assert_eq!(serial, parallel, "prefix identical for any worker count");
+        // Global job indices are preserved across chunks.
+        assert_eq!(serial[37], 37 * 1000 + 37);
+    }
+
+    #[test]
+    fn run_until_without_stop_processes_everything() {
+        let inputs: Vec<u32> = (0..23).collect();
+        let all = run_until(Jobs::new(3), &inputs, 7, |_, &x| x, |_| false);
+        assert_eq!(all, inputs);
+        let none: Vec<u32> = Vec::new();
+        assert_eq!(
+            run_until(Jobs::new(3), &none, 7, |_, &x| x, |_| false),
+            none
+        );
+        // Zero chunk is clamped, not an infinite loop.
+        assert_eq!(
+            run_until(Jobs::serial(), &inputs, 0, |_, &x| x, |_| false),
+            inputs
+        );
     }
 }

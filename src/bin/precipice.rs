@@ -7,22 +7,32 @@
 //! precipice --topology ring:64 --region nodes:3,4,5 --optimized --csv
 //! precipice --topology geometric:200:0.12 --region ball:2 --dot crashed.dot
 //! precipice --topology torus:24 --region blob:8 --runs 32 --jobs 8
+//! precipice check --topology torus:6 --region blob:3 --budget 1000 --jobs 4
+//! precipice replay counterexample.txt
 //! ```
 //!
 //! With `--runs k` the same scenario is swept over `k` consecutive
 //! seeds, sharded across `--jobs` worker threads by the deterministic
 //! sweep engine — the output is byte-identical for any worker count.
 //!
+//! `precipice check` model-checks one scenario across `--budget`
+//! adversarial delivery/crash schedules; on a CD violation it
+//! delta-debugs the schedule to a minimal counterexample and emits a
+//! replayable artifact that `precipice replay` re-executes bit-for-bit.
+//!
 //! Exits non-zero if the run violates the specification (it never should;
-//! `--no-arbitration` exists to see what violations look like).
+//! `--no-arbitration` and `--invert-arbitration` exist to see what
+//! violations look like).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::{to_dot, Graph, GridDims, NodeId, Region};
+use precipice::runtime::explore::{probe, render_violations, Artifact};
 use precipice::runtime::{check_spec, MulticastMode, RunDigest, RunReport, Scenario};
-use precipice::sim::{LatencyModel, SimConfig, SimTime};
+use precipice::sim::{LatencyModel, SchedulePolicy, SimConfig, SimTime};
+use precipice::workload::explore::{explore_scenario, ExploreConfig, PolicyMix};
 use precipice::workload::patterns::{bfs_ball, blob_of_size, line_region, schedule, CrashTiming};
 use precipice::workload::stats::summarize;
 use precipice::workload::sweep::{self, Jobs};
@@ -33,6 +43,8 @@ precipice — run cliff-edge consensus on a synthetic scenario
 
 USAGE:
     precipice [OPTIONS]
+    precipice check [OPTIONS] [CHECK OPTIONS]
+    precipice replay <artifact>
 
 OPTIONS:
     --topology <spec>   torus:<side> | grid:<w>x<h> | ring:<n> | path:<n> |
@@ -50,10 +62,20 @@ OPTIONS:
                         [default: $PRECIPICE_JOBS, else all cores]
     --optimized         enable early-termination + fast-abort
     --no-arbitration    ABLATION: disable the rejection mechanism
+    --invert-arbitration  FAULT INJECTION: reject higher- instead of
+                        lower-ranked views (a planted bug for `check`)
     --sequential-multicast  crash-interruptible multicast loops
     --csv               print tables as CSV instead of markdown
     --dot <path>        also write the crashed topology as Graphviz DOT
     -h, --help          show this help
+
+CHECK OPTIONS (adversarial schedule exploration):
+    --budget <n>        schedules to explore        [default: 1000]
+    --policy <p>        random | pcr | mixed        [default: mixed]
+    --stop-after <k>    stop once k violating schedules were found
+                        (0 = always spend the whole budget) [default: 0]
+    --artifact <path>   write the first shrunk counterexample here
+                        (default: print it inline)
 ";
 
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +89,7 @@ struct Options {
     jobs: Option<usize>,
     optimized: bool,
     no_arbitration: bool,
+    invert_arbitration: bool,
     sequential_multicast: bool,
     csv: bool,
     dot: Option<String>,
@@ -84,6 +107,7 @@ impl Default for Options {
             jobs: None,
             optimized: false,
             no_arbitration: false,
+            invert_arbitration: false,
             sequential_multicast: false,
             csv: false,
             dot: None,
@@ -127,6 +151,7 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
             }
             "--optimized" => opts.optimized = true,
             "--no-arbitration" => opts.no_arbitration = true,
+            "--invert-arbitration" => opts.invert_arbitration = true,
             "--sequential-multicast" => opts.sequential_multicast = true,
             "--csv" => opts.csv = true,
             "--dot" => opts.dot = Some(value("--dot")?),
@@ -239,6 +264,47 @@ fn parse_timing(spec: &str, seed: u64) -> Result<CrashTiming, String> {
     }
 }
 
+/// The protocol configuration the CLI flags describe.
+fn protocol_of(opts: &Options) -> ProtocolConfig {
+    let mut protocol = if opts.optimized {
+        ProtocolConfig::optimized()
+    } else {
+        ProtocolConfig::faithful()
+    };
+    protocol.arbitration = !opts.no_arbitration;
+    protocol.invert_arbitration = opts.invert_arbitration;
+    protocol
+}
+
+/// Builds the sealed scenario for `seed` (timing specs must have been
+/// validated once; spread timing derives its schedule from the seed).
+fn scenario_for(opts: &Options, graph: &Graph, region: &Region, seed: u64) -> Scenario {
+    let timing = parse_timing(&opts.timing, seed).expect("timing spec validated up front");
+    Scenario::builder(graph.clone())
+        .name("cli")
+        .crashes(schedule(region.iter(), timing))
+        .protocol(protocol_of(opts))
+        .multicast(if opts.sequential_multicast {
+            MulticastMode::Sequential
+        } else {
+            MulticastMode::Atomic
+        })
+        .sim_config(SimConfig {
+            seed,
+            latency: LatencyModel::Uniform {
+                min: SimTime::from_micros(200),
+                max: SimTime::from_millis(2),
+            },
+            fd_latency: LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(5),
+            },
+            record_trace: true,
+            max_events: Some(100_000_000),
+        })
+        .build()
+}
+
 fn run(opts: &Options) -> Result<bool, String> {
     let graph = parse_topology(&opts.topology, opts.seed)?;
     let region = parse_region(&opts.region, &graph, opts.at)?;
@@ -253,39 +319,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         eprintln!("wrote {path}");
     }
 
-    let mut protocol = if opts.optimized {
-        ProtocolConfig::optimized()
-    } else {
-        ProtocolConfig::faithful()
-    };
-    protocol.arbitration = !opts.no_arbitration;
-
-    let build = |seed: u64| -> Scenario {
-        let timing = parse_timing(&opts.timing, seed).expect("timing spec validated above");
-        Scenario::builder(graph.clone())
-            .name("cli")
-            .crashes(schedule(region.iter(), timing))
-            .protocol(protocol)
-            .multicast(if opts.sequential_multicast {
-                MulticastMode::Sequential
-            } else {
-                MulticastMode::Atomic
-            })
-            .sim_config(SimConfig {
-                seed,
-                latency: LatencyModel::Uniform {
-                    min: SimTime::from_micros(200),
-                    max: SimTime::from_millis(2),
-                },
-                fd_latency: LatencyModel::Uniform {
-                    min: SimTime::from_millis(1),
-                    max: SimTime::from_millis(5),
-                },
-                record_trace: true,
-                max_events: Some(100_000_000),
-            })
-            .build()
-    };
+    let build = |seed: u64| -> Scenario { scenario_for(opts, &graph, &region, seed) };
 
     if opts.runs > 1 {
         let jobs = opts.jobs.map(Jobs::new).unwrap_or_else(Jobs::from_env);
@@ -456,19 +490,298 @@ fn print_single(
     }
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
+/// Options of the `check` subcommand: the base scenario flags plus the
+/// exploration knobs.
+#[derive(Debug, Clone, PartialEq)]
+struct CheckOptions {
+    base: Options,
+    budget: u64,
+    policy: PolicyMix,
+    stop_after: usize,
+    artifact: Option<String>,
+}
+
+/// Parses `check` arguments: exploration flags are extracted here, the
+/// remainder goes through the ordinary scenario parser.
+fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions, String> {
+    let mut budget: u64 = 1000;
+    let mut policy = PolicyMix::Mixed;
+    let mut stop_after: usize = 0;
+    let mut artifact: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--budget" => {
+                budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if budget == 0 {
+                    return Err("--budget wants at least one schedule".to_owned());
+                }
+            }
+            "--policy" => policy = PolicyMix::parse(&value("--policy")?)?,
+            "--stop-after" => {
+                stop_after = value("--stop-after")?
+                    .parse()
+                    .map_err(|e| format!("--stop-after: {e}"))?
+            }
+            "--artifact" => artifact = Some(value("--artifact")?),
+            _ => rest.push(arg),
         }
+    }
+    let base = parse_args(rest.into_iter())?;
+    if base.runs != 1 {
+        return Err("--runs does not apply to `check` (one scenario, many schedules)".to_owned());
+    }
+    Ok(CheckOptions {
+        base,
+        budget,
+        policy,
+        stop_after,
+        artifact,
+    })
+}
+
+/// The replayable scenario description embedded in a counterexample
+/// artifact (mirrors [`options_from_spec`]).
+fn spec_of(opts: &Options) -> BTreeMap<String, String> {
+    let mut spec = BTreeMap::new();
+    spec.insert("topology".to_owned(), opts.topology.clone());
+    spec.insert("region".to_owned(), opts.region.clone());
+    spec.insert("timing".to_owned(), opts.timing.clone());
+    spec.insert("seed".to_owned(), opts.seed.to_string());
+    if let Some(at) = opts.at {
+        spec.insert("at".to_owned(), at.to_string());
+    }
+    for (key, on) in [
+        ("optimized", opts.optimized),
+        ("no-arbitration", opts.no_arbitration),
+        ("invert-arbitration", opts.invert_arbitration),
+        ("sequential-multicast", opts.sequential_multicast),
+    ] {
+        if on {
+            spec.insert(key.to_owned(), "true".to_owned());
+        }
+    }
+    spec
+}
+
+/// Rebuilds CLI options from an artifact's spec map (inverse of
+/// [`spec_of`]; unknown keys are rejected so a typo cannot silently
+/// replay a different scenario).
+fn options_from_spec(spec: &BTreeMap<String, String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    for (key, value) in spec {
+        match key.as_str() {
+            "topology" => opts.topology = value.clone(),
+            "region" => opts.region = value.clone(),
+            "timing" => opts.timing = value.clone(),
+            "seed" => opts.seed = value.parse().map_err(|e| format!("spec seed: {e}"))?,
+            "at" => opts.at = Some(value.parse().map_err(|e| format!("spec at: {e}"))?),
+            "optimized" => opts.optimized = value == "true",
+            "no-arbitration" => opts.no_arbitration = value == "true",
+            "invert-arbitration" => opts.invert_arbitration = value == "true",
+            "sequential-multicast" => opts.sequential_multicast = value == "true",
+            other => return Err(format!("unknown spec key {other:?} in artifact")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the `check` subcommand. Returns `Ok(true)` when no schedule
+/// violated the specification.
+fn run_check(opts: &CheckOptions) -> Result<bool, String> {
+    let base = &opts.base;
+    let graph = parse_topology(&base.topology, base.seed)?;
+    let region = parse_region(&base.region, &graph, base.at)?;
+    parse_timing(&base.timing, base.seed)?;
+    let scenario = scenario_for(base, &graph, &region, base.seed);
+    let jobs = base.jobs.map(Jobs::new).unwrap_or_else(Jobs::from_env);
+    let cfg = ExploreConfig {
+        budget: opts.budget,
+        seed: base.seed,
+        policy: opts.policy,
+        stop_after: opts.stop_after,
+        ..ExploreConfig::default()
     };
-    match run(&opts) {
+    let outcome = explore_scenario(&scenario, &cfg, jobs);
+
+    let mut summary = Table::new(
+        format!(
+            "adversarial schedule exploration ({} / {})",
+            base.topology, base.region
+        ),
+        ["metric", "value"],
+    );
+    summary.push_row(["budget".to_owned(), opts.budget.to_string()]);
+    summary.push_row([
+        "schedules explored".to_owned(),
+        outcome.schedules().to_string(),
+    ]);
+    summary.push_row([
+        "unique orderings".to_owned(),
+        outcome.unique_orderings().to_string(),
+    ]);
+    summary.push_row([
+        "max deviations from FIFO".to_owned(),
+        outcome.max_deviations().to_string(),
+    ]);
+    summary.push_row([
+        "violating schedules".to_owned(),
+        outcome.violating().to_string(),
+    ]);
+    summary.push_row([
+        "counterexamples shrunk".to_owned(),
+        outcome.counterexamples.len().to_string(),
+    ]);
+    summary.push_row([
+        "min counterexample (decisions)".to_owned(),
+        outcome
+            .min_counterexample_len()
+            .map_or("-".to_owned(), |n| n.to_string()),
+    ]);
+    summary.push_row([
+        "policy / seed".to_owned(),
+        format!("{:?} / {}", opts.policy, base.seed).to_lowercase(),
+    ]);
+    if base.csv {
+        print!("{}", summary.to_csv());
+    } else {
+        println!("{summary}");
+    }
+
+    for (k, (probe_idx, ce)) in outcome.counterexamples.iter().enumerate() {
+        println!(
+            "## counterexample {}: probe {probe_idx}, shrunk {} -> {} scheduling decisions in {} replays\n",
+            k + 1,
+            ce.original_len,
+            ce.schedule.len(),
+            ce.shrink_runs
+        );
+        // Replay the minimized schedule for the human-readable diff of
+        // the offending properties.
+        let replayed = probe(&scenario, SchedulePolicy::Replay(ce.schedule.clone()));
+        print!(
+            "{}",
+            render_violations(&replayed.report, &replayed.violations)
+        );
+        let artifact = Artifact::new(spec_of(base), ce);
+        match (&opts.artifact, k) {
+            (Some(path), 0) => {
+                std::fs::write(path, artifact.render())
+                    .map_err(|e| format!("writing {path:?}: {e}"))?;
+                // Stderr keeps stdout byte-comparable across --jobs.
+                eprintln!("wrote {path}");
+            }
+            _ => {
+                println!("\nreplayable artifact (save and `precipice replay <file>`):\n");
+                print!("{}", artifact.render());
+            }
+        }
+        println!();
+    }
+
+    if outcome.violating() == 0 {
+        println!(
+            "specification: CD1-CD7 hold on all {} explored schedules ✓",
+            outcome.schedules()
+        );
+        Ok(true)
+    } else {
+        println!(
+            "specification VIOLATED on {} of {} explored schedules",
+            outcome.violating(),
+            outcome.schedules()
+        );
+        Ok(false)
+    }
+}
+
+/// Runs the `replay` subcommand: re-executes a counterexample artifact
+/// and verifies it reproduces. Returns `Ok(true)` on an exact
+/// reproduction (same trace hash, same violation set).
+fn run_replay(path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let artifact = Artifact::parse(&text)?;
+    let opts = options_from_spec(&artifact.spec)?;
+    let graph = parse_topology(&opts.topology, opts.seed)?;
+    let region = parse_region(&opts.region, &graph, opts.at)?;
+    parse_timing(&opts.timing, opts.seed)?;
+    let scenario = scenario_for(&opts, &graph, &region, opts.seed);
+    let replayed = probe(&scenario, SchedulePolicy::Replay(artifact.schedule.clone()));
+
+    println!("# replaying {path}\n");
+    println!(
+        "scenario: topology={} region={} timing={} seed={}",
+        opts.topology, opts.region, opts.timing, opts.seed
+    );
+    println!("schedule: {} scheduling decisions", artifact.schedule.len());
+    let hash_ok = replayed.report.trace_hash == artifact.trace_hash;
+    println!(
+        "trace hash: {} (expected {:#x}, got {:#x})",
+        if hash_ok { "match" } else { "MISMATCH" },
+        artifact.trace_hash,
+        replayed.report.trace_hash
+    );
+    let got: Vec<String> = replayed.violations.iter().map(|v| v.to_string()).collect();
+    let violations_ok = got == artifact.violations;
+    println!(
+        "violations: {} ({} expected, {} observed)\n",
+        if violations_ok {
+            "reproduced"
+        } else {
+            "DIFFER"
+        },
+        artifact.violations.len(),
+        got.len()
+    );
+    print!(
+        "{}",
+        render_violations(&replayed.report, &replayed.violations)
+    );
+    if hash_ok && violations_ok {
+        println!("counterexample reproduced ✓");
+        Ok(true)
+    } else {
+        println!("counterexample did NOT reproduce (artifact stale?)");
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    // Runtime failures get an `error: ` prefix; parse/usage messages
+    // stay bare (the long-standing contract of the single-run path).
+    let runtime_err = |e: String| format!("error: {e}");
+    let mut args = std::env::args().skip(1).peekable();
+    let verdict = match args.peek().map(String::as_str) {
+        Some("check") => {
+            args.next();
+            parse_check_args(args).and_then(|opts| run_check(&opts).map_err(runtime_err))
+        }
+        Some("replay") => {
+            args.next();
+            match (args.next(), args.next()) {
+                (Some(path), None) if !path.starts_with('-') => {
+                    run_replay(&path).map_err(runtime_err)
+                }
+                (Some(_), Some(extra)) => Err(format!(
+                    "replay takes exactly one artifact path (unexpected {extra:?})"
+                )),
+                _ => Err(format!("replay wants an artifact path\n\n{USAGE}")),
+            }
+        }
+        _ => parse_args(args).and_then(|opts| run(&opts).map_err(runtime_err)),
+    };
+    match verdict {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            eprintln!("{msg}");
             ExitCode::from(2)
         }
     }
@@ -616,6 +929,127 @@ mod tests {
             ..Options::default()
         };
         assert_eq!(run(&opts), Ok(true));
+    }
+
+    fn check_parse(args: &[&str]) -> Result<CheckOptions, String> {
+        parse_check_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn check_flags_parse() {
+        let opts = check_parse(&[
+            "--topology",
+            "ring:16",
+            "--budget",
+            "64",
+            "--policy",
+            "pcr",
+            "--stop-after",
+            "2",
+            "--artifact",
+            "/tmp/ce.txt",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(opts.base.topology, "ring:16");
+        assert_eq!(opts.budget, 64);
+        assert_eq!(opts.policy, PolicyMix::Pcr);
+        assert_eq!(opts.stop_after, 2);
+        assert_eq!(opts.artifact.as_deref(), Some("/tmp/ce.txt"));
+        assert_eq!(opts.base.jobs, Some(2));
+
+        let defaults = check_parse(&[]).unwrap();
+        assert_eq!(defaults.budget, 1000);
+        assert_eq!(defaults.policy, PolicyMix::Mixed);
+        assert_eq!(defaults.stop_after, 0);
+        assert!(defaults.artifact.is_none());
+
+        assert!(check_parse(&["--budget", "0"]).is_err());
+        assert!(check_parse(&["--policy", "chaos"]).is_err());
+        assert!(check_parse(&["--runs", "4"]).is_err(), "runs is sweep-only");
+        assert!(check_parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn check_clean_scenario_passes() {
+        let opts = CheckOptions {
+            base: Options {
+                topology: "torus:5".into(),
+                region: "blob:3".into(),
+                timing: "cascade:2ms".into(),
+                seed: 3,
+                jobs: Some(2),
+                ..Options::default()
+            },
+            budget: 48,
+            policy: PolicyMix::Mixed,
+            stop_after: 0,
+            artifact: None,
+        };
+        assert_eq!(run_check(&opts), Ok(true));
+    }
+
+    #[test]
+    fn check_catches_planted_bug_and_replay_reproduces() {
+        let dir = std::env::temp_dir().join("precipice-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact_path = dir.join("ce.txt");
+        let opts = CheckOptions {
+            base: Options {
+                topology: "torus:5".into(),
+                region: "blob:3".into(),
+                timing: "cascade:2ms".into(),
+                seed: 1,
+                invert_arbitration: true,
+                jobs: Some(1),
+                ..Options::default()
+            },
+            budget: 64,
+            policy: PolicyMix::Mixed,
+            stop_after: 1,
+            artifact: Some(artifact_path.to_string_lossy().into_owned()),
+        };
+        assert_eq!(
+            run_check(&opts),
+            Ok(false),
+            "the planted bug must be caught"
+        );
+        let text = std::fs::read_to_string(&artifact_path).expect("artifact written");
+        let artifact = Artifact::parse(&text).expect("artifact parses");
+        assert!(!artifact.violations.is_empty());
+        assert!(
+            artifact.schedule.len() <= 25,
+            "shrunk counterexample stays small, got {}",
+            artifact.schedule.len()
+        );
+        assert_eq!(artifact.spec["invert-arbitration"], "true");
+        // And the replay subcommand reproduces it bit-for-bit.
+        assert_eq!(
+            run_replay(&artifact_path.to_string_lossy()),
+            Ok(true),
+            "replay must reproduce the counterexample"
+        );
+    }
+
+    #[test]
+    fn spec_map_roundtrips_options() {
+        let opts = Options {
+            topology: "ring:12".into(),
+            region: "nodes:1,2".into(),
+            timing: "cascade:1ms".into(),
+            seed: 9,
+            at: Some(4),
+            optimized: true,
+            invert_arbitration: true,
+            ..Options::default()
+        };
+        let spec = spec_of(&opts);
+        let back = options_from_spec(&spec).unwrap();
+        assert_eq!(back, opts);
+        let mut bad = spec.clone();
+        bad.insert("mystery".into(), "1".into());
+        assert!(options_from_spec(&bad).is_err());
     }
 
     #[test]

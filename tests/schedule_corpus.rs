@@ -1,0 +1,169 @@
+//! Regression corpus of adversarial schedules: every schedule the
+//! explorer minimized during development is checked in here as a fixed
+//! `Replay` case, asserting that `check_spec` stays clean — or stays a
+//! known, documented violation.
+//!
+//! Each case pins (a) replay *fidelity* — the recorded deviations are
+//! honored bit-for-bit, twice over — and (b) the *verdict*, so neither
+//! the scheduler, the protocol, nor the checker can silently drift on
+//! the exact interleavings that were once interesting.
+
+use precipice::consensus::ProtocolConfig;
+use precipice::graph::{torus, GridDims, NodeId, Region};
+use precipice::runtime::explore::probe;
+use precipice::runtime::{Scenario, Violation};
+use precipice::sim::{LatencyModel, Schedule, SchedulePolicy, SimConfig, SimTime};
+use precipice::workload::figures::Figure2;
+use precipice::workload::patterns::{blob_of_size, schedule, CrashTiming};
+
+/// Replays `sched` twice and asserts bit-identical runs with all
+/// deviations honored; returns the first probe.
+fn replay_pinned(scenario: &Scenario, sched: &Schedule) -> precipice::runtime::ScheduleProbe {
+    let a = probe(scenario, SchedulePolicy::Replay(sched.clone()));
+    let b = probe(scenario, SchedulePolicy::Replay(sched.clone()));
+    assert_eq!(
+        a.report.trace_hash, b.report.trace_hash,
+        "replay must be deterministic"
+    );
+    assert_eq!(
+        &a.schedule, sched,
+        "every recorded deviation must be honored on replay"
+    );
+    a
+}
+
+/// The uniformity race the explorer found on the Figure-2 cluster the
+/// first time it ever ran (probe 31 of the E9 sweep, minimized from 46
+/// to 29 deviations by ddmin): `n8` completes the `{n7}` instance and
+/// decides, then crashes; `n6`'s failure detector outruns `n8`'s last
+/// round message, so `n6` abandons `{n7}` and decides the extended view
+/// `{n7, n8}` with `n9`.
+///
+/// The faulty decider dies holding a subsumed view — unavoidable in an
+/// asynchronous system (a node may always crash right after deciding),
+/// so CD5 exempts exactly this shape while still binding same-view
+/// value agreement uniformly. This replay pins both the execution and
+/// the checker's verdict on it.
+#[test]
+fn fig2_uniformity_race_is_legal_and_stays_pinned() {
+    let scenario =
+        Figure2::new(3, 2).scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1)));
+    let sched: Schedule = "1:C5 3:N4!5 4:N0!1 5:N3!2 6:D0>0#0 7:C7 8:N6!7 9:N8!7 10:D6>6#0 \
+         12:N3!1 13:N6!5 14:D6>8#0 15:D0>2#0 16:D3>1#0 17:D3>3#0 18:N0!2 19:D0>0#1 20:D3>1#1 \
+         21:D8>8#0 22:D3>3#1 23:D0>3#0 25:D0>2#1 26:D3>0#0 27:D3>3#2 29:D0>0#2 33:N6!4 \
+         34:N5!4 35:D6>4#0 36:N6!8"
+        .parse()
+        .expect("corpus schedule parses");
+    assert_eq!(sched.len(), 29);
+
+    let p = replay_pinned(&scenario, &sched);
+    assert_eq!(
+        p.violations,
+        Vec::new(),
+        "the uniformity race is legal under the refined CD5"
+    );
+    // The interesting shape: the faulty n8 died holding the subsumed
+    // view {n7}; the surviving border decided the extended {n7, n8}.
+    let region_of = |n: u32| p.report.decisions[&NodeId(n)].view.region().clone();
+    let small: Region = [NodeId(7)].into_iter().collect();
+    let extended: Region = [NodeId(7), NodeId(8)].into_iter().collect();
+    assert_eq!(region_of(8), small, "n8 decided {{n7}} before crashing");
+    assert_eq!(region_of(6), extended);
+    assert_eq!(region_of(9), extended);
+    assert!(p.report.is_faulty(NodeId(8)), "n8 crashed (later)");
+    // Value uniformity held throughout.
+    assert!(p
+        .report
+        .decisions
+        .values()
+        .filter(|d| d.view.region().contains(NodeId(7)))
+        .all(|d| d.value == NodeId(6)));
+}
+
+/// The CLI `check` scenario with the planted inverted-arbitration bug:
+/// the explorer's very first probe (the FIFO baseline — the empty
+/// schedule) already starves the cluster, and ddmin minimizes to zero
+/// scheduling decisions. Checked in as a *known-documented violation*:
+/// inverted arbitration must keep failing CD7 here, or the planted bug
+/// (and with it the explorer's self-test) has silently rotted.
+#[test]
+fn planted_inverted_arbitration_violation_stays_documented() {
+    let graph = torus(GridDims::square(6));
+    let region = blob_of_size(&graph, NodeId(18), 3);
+    let scenario = Scenario::builder(graph)
+        .crashes(schedule(
+            region.iter(),
+            CrashTiming::Cascade {
+                start: SimTime::from_millis(1),
+                step: SimTime::from_millis(2),
+            },
+        ))
+        .protocol(ProtocolConfig::faithful().with_inverted_arbitration(true))
+        .sim_config(SimConfig {
+            seed: 7,
+            latency: LatencyModel::Uniform {
+                min: SimTime::from_micros(200),
+                max: SimTime::from_millis(2),
+            },
+            fd_latency: LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(5),
+            },
+            record_trace: true,
+            max_events: Some(100_000_000),
+        })
+        .build();
+
+    let p = replay_pinned(&scenario, &Schedule::fifo());
+    assert!(
+        p.violations
+            .iter()
+            .any(|v| matches!(v, Violation::Progress { .. })),
+        "inverted arbitration must starve the cluster (CD7); got {:?}",
+        p.violations
+    );
+    // The correct protocol on the identical scenario is clean — the
+    // violation is the planted bug, not the schedule.
+    let mut fixed = scenario.clone();
+    fixed.protocol = ProtocolConfig::faithful();
+    let clean = probe(&fixed, SchedulePolicy::Replay(Schedule::fifo()));
+    assert_eq!(clean.violations, Vec::new());
+}
+
+/// Pinned exploring policies on fixed scenarios: the recorded schedule
+/// of every (scenario, policy) pair below replays bit-for-bit and stays
+/// violation-free. These are the "boring" corpus entries that keep the
+/// scheduler's random streams, the eligibility rule, and the recorder
+/// stable across refactors.
+#[test]
+fn pinned_exploration_schedules_stay_clean() {
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        (
+            "torus5-two-crashes",
+            Scenario::builder(torus(GridDims::square(5)))
+                .crash(NodeId(6), SimTime::from_millis(1))
+                .crash(NodeId(7), SimTime::from_millis(3))
+                .seed(2)
+                .build(),
+        ),
+        (
+            "fig2-cluster",
+            Figure2::new(3, 2).scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1))),
+        ),
+    ];
+    for (name, scenario) in &scenarios {
+        for policy in [
+            SchedulePolicy::Random(11),
+            SchedulePolicy::Random(12),
+            SchedulePolicy::Pcr(11),
+        ] {
+            let p = probe(scenario, policy.clone());
+            assert_eq!(p.violations, Vec::new(), "{name} under {policy:?}");
+            let replayed = replay_pinned(scenario, &p.schedule);
+            assert_eq!(
+                replayed.report.trace_hash, p.report.trace_hash,
+                "{name}: replaying {policy:?}'s schedule reproduces the run"
+            );
+        }
+    }
+}
