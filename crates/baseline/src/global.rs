@@ -25,7 +25,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use precipice_graph::{Graph, NodeId, Region};
+use precipice_graph::{Graph, NodeId, NodeSet, Region};
 use precipice_sim::{
     Context, MessageSize, Metrics, Process, RunOutcome, SimConfig, SimTime, Simulation,
 };
@@ -40,19 +40,28 @@ pub struct GlobalMsg {
     /// `Arc`-shared: flooding to `N` recipients snapshots the vector
     /// once; byte accounting still charges the full vector per message.
     pub vector: Arc<BTreeMap<NodeId, BTreeSet<NodeId>>>,
+    /// Wire size of `vector` under the baseline's encoding, computed
+    /// once at snapshot time: `size_bytes` used to re-walk the whole
+    /// O(N) vector for **each** of the N recipients, an O(N²)-per-flood
+    /// accounting cost that dwarfed the protocol itself at E4 sizes.
+    wire_bytes: usize,
 }
 
 impl MessageSize for GlobalMsg {
     fn size_bytes(&self) -> usize {
-        4 + self
-            .vector
-            .values()
-            .map(|set| 4 + 4 + 4 * set.len())
-            .sum::<usize>()
+        self.wire_bytes
     }
 }
 
 /// A participant in the global epoch.
+///
+/// Internal state is index-addressed (`Vec` entries, [`NodeSet`] word
+/// masks) so the per-delivery work is an entry-length scan plus a few
+/// word-parallel coverage checks; the previous `BTreeMap`/`BTreeSet`
+/// representation cost O(N log N) tree probes per delivery — ~280 s for
+/// one n = 576 run, which was 90 % of the whole E4 sweep. The *message
+/// flow* (who floods what, when, at which accounted size) is
+/// bit-identical: E4's global columns don't move.
 #[derive(Debug)]
 pub struct GlobalProcess {
     me: NodeId,
@@ -60,9 +69,15 @@ pub struct GlobalProcess {
     joined: bool,
     round: u32,
     detected: BTreeSet<NodeId>,
-    vector: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Word-mask mirror of `detected` for the coverage checks.
+    detected_mask: NodeSet,
+    /// Per-node proposal entries, indexed by node id (`None` = no entry
+    /// yet — distinct from an empty entry, which counts as contributed).
+    vector: Vec<Option<BTreeSet<NodeId>>>,
+    /// Nodes with a `Some` entry in `vector`, as a word mask.
+    have_entry: NodeSet,
     /// Senders heard from, per round.
-    heard: BTreeMap<u32, BTreeSet<NodeId>>,
+    heard: BTreeMap<u32, NodeSet>,
     decision: Option<(BTreeSet<NodeId>, SimTime)>,
 }
 
@@ -75,9 +90,11 @@ impl GlobalProcess {
             joined: false,
             round: 0,
             detected: BTreeSet::new(),
-            vector: BTreeMap::new(),
-            heard: BTreeMap::new(),
+            detected_mask: NodeSet::with_capacity(n),
+            vector: vec![None; n],
+            have_entry: NodeSet::with_capacity(n),
             decision: None,
+            heard: BTreeMap::new(),
         }
     }
 
@@ -90,20 +107,50 @@ impl GlobalProcess {
         (0..self.n).map(NodeId::from_index)
     }
 
+    /// `true` when `a ∪ detected` covers all `n` nodes (word-parallel).
+    fn covers_everyone(&self, a: &NodeSet) -> bool {
+        let (wa, wd) = (a.words(), self.detected_mask.words());
+        let mut covered = 0usize;
+        for i in 0..wa.len().max(wd.len()) {
+            let w = wa.get(i).copied().unwrap_or(0) | wd.get(i).copied().unwrap_or(0);
+            covered += w.count_ones() as usize;
+        }
+        covered == self.n
+    }
+
+    fn set_entry_bit(&mut self, node: NodeId) {
+        self.have_entry.insert(node);
+    }
+
     fn join(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
         if self.joined {
             return;
         }
         self.joined = true;
         self.round = 1;
-        self.vector.insert(self.me, self.detected.clone());
+        self.vector[self.me.index()] = Some(self.detected.clone());
+        self.set_entry_bit(self.me);
         self.flood(ctx);
     }
 
     fn flood(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
+        // Snapshot the index-addressed entries into the wire-format map
+        // (ascending node order, exactly the order `BTreeMap` iteration
+        // always produced) and price it once.
+        let vector: BTreeMap<NodeId, BTreeSet<NodeId>> = self
+            .vector
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|set| (NodeId::from_index(i), set.clone())))
+            .collect();
+        let wire_bytes = 4 + vector
+            .values()
+            .map(|set| 4 + 4 + 4 * set.len())
+            .sum::<usize>();
         let msg = GlobalMsg {
             round: self.round,
-            vector: Arc::new(self.vector.clone()),
+            vector: Arc::new(vector),
+            wire_bytes,
         };
         for to in self.everyone() {
             ctx.send(to, msg.clone());
@@ -112,15 +159,28 @@ impl GlobalProcess {
 
     /// `true` when everyone not known-crashed has contributed an entry.
     fn vector_complete(&self) -> bool {
-        self.everyone()
-            .all(|p| self.detected.contains(&p) || self.vector.contains_key(&p))
+        self.covers_everyone(&self.have_entry)
     }
 
     /// `true` when every non-crashed node's round-`r` message arrived.
     fn round_complete(&self, r: u32) -> bool {
-        let heard = self.heard.get(&r);
-        self.everyone()
-            .all(|p| self.detected.contains(&p) || heard.is_some_and(|h| h.contains(&p)))
+        match self.heard.get(&r) {
+            Some(h) => self.covers_everyone(h),
+            // No round-r message yet: complete only if every node is
+            // known-crashed (impossible while we are alive — mirrors the
+            // old per-node scan).
+            None => self.covers_everyone(&NodeSet::new()),
+        }
+    }
+
+    fn decide_on_union(&mut self, now: SimTime) {
+        let union: BTreeSet<NodeId> = self
+            .vector
+            .iter()
+            .flatten()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        self.decision = Some((union, now));
     }
 
     fn advance(&mut self, ctx: &mut Context<'_, GlobalMsg>) {
@@ -128,22 +188,12 @@ impl GlobalProcess {
             // Early-termination criterion (see module docs): two rounds
             // minimum, vector covering all live nodes.
             if self.round >= 2 && self.vector_complete() {
-                let union: BTreeSet<NodeId> = self
-                    .vector
-                    .values()
-                    .flat_map(|s| s.iter().copied())
-                    .collect();
-                self.decision = Some((union, ctx.now()));
+                self.decide_on_union(ctx.now());
                 return;
             }
             if self.round as usize >= self.n.saturating_sub(1).max(2) {
                 // Faithful bound reached: decide on what we have.
-                let union: BTreeSet<NodeId> = self
-                    .vector
-                    .values()
-                    .flat_map(|s| s.iter().copied())
-                    .collect();
-                self.decision = Some((union, ctx.now()));
+                self.decide_on_union(ctx.now());
                 return;
             }
             self.round += 1;
@@ -169,11 +219,26 @@ impl Process for GlobalProcess {
             self.join(ctx);
         }
         for (node, proposal) in msg.vector.iter() {
-            // Entries are grow-only sets: merge by union.
-            self.vector
-                .entry(*node)
-                .or_default()
-                .extend(proposal.iter().copied());
+            // Entries are grow-only snapshots of their owner's detection
+            // set, so any two in-flight versions are subset-comparable
+            // and a length check decides whether the incoming one adds
+            // anything. (Union semantics preserved: extending with a
+            // longer snapshot is exactly the union of nested sets.)
+            match &mut self.vector[node.index()] {
+                slot @ None => {
+                    *slot = Some(proposal.clone());
+                    self.have_entry.insert(*node);
+                }
+                Some(s) if s.len() < proposal.len() => {
+                    s.extend(proposal.iter().copied());
+                }
+                Some(s) => {
+                    debug_assert!(
+                        proposal.is_subset(s),
+                        "per-node entries must be subset-comparable"
+                    );
+                }
+            }
         }
         self.heard.entry(msg.round).or_default().insert(from);
         self.advance(ctx);
@@ -181,12 +246,16 @@ impl Process for GlobalProcess {
 
     fn on_crash_notification(&mut self, crashed: NodeId, ctx: &mut Context<'_, GlobalMsg>) {
         self.detected.insert(crashed);
+        self.detected_mask.insert(crashed);
         if !self.joined {
             self.join(ctx);
         } else if self.decision.is_none() {
             // Late detection: grow our own entry and re-flood the
             // current round so the new knowledge reaches everyone.
-            self.vector.entry(self.me).or_default().insert(crashed);
+            self.vector[self.me.index()]
+                .get_or_insert_default()
+                .insert(crashed);
+            self.set_entry_bit(self.me);
             self.flood(ctx);
         }
         self.advance(ctx);

@@ -1,0 +1,269 @@
+//! Report binary: per-run setup/run cost of cliff-edge consensus vs
+//! system size N, before (eager node construction) and after (lazy,
+//! footprint-proportional) — the implementation-level measurement of the
+//! paper's headline claim that cost depends on the crashed region's
+//! footprint, not on N.
+//!
+//! For each torus size the binary measures the one-time graph build, the
+//! *eager* per-run cost (all N `CliffEdgeNode`s constructed, every
+//! `on_start` executed, O(N) stats collection — the pre-PR-5 path, kept
+//! as [`Scenario::run_eager`]) and the *lazy* per-run cost
+//! ([`Scenario::run`]: spawn-on-demand processes, graph-backed failure
+//! detection). Both arms execute bit-identical schedules (asserted via
+//! trace hashes), so the ratio is pure setup/teardown overhead. The
+//! eager arm is skipped above 32768 nodes, where pre-building the
+//! process table is exactly the cost this report exists to show off.
+//!
+//! It also times the full E4 sweep serially and compares it against the
+//! committed `BENCH_sweep.json` baseline (359.6 s on the reference
+//! 1-CPU host) — the several-fold drop is the tentpole acceptance
+//! number.
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_locality -- \
+//!     [--test] [--json PATH] [--skip-e4] [--mega-smoke [CAP_SECONDS]]`
+//!
+//! - `--test`: tiny sizes, no E4 sweep — CI smoke mode.
+//! - `--skip-e4`: full size ladder but no E4 sweep timing.
+//! - `--mega-smoke [cap]`: run ONLY one N = 1,048,576 cliff-edge
+//!   scenario (fixed 8-node crashed region) to quiescence and exit
+//!   non-zero if it misses the wall-clock cap (default 300 s) or fails
+//!   to decide — the CI guard that keeps the footprint-proportional
+//!   path from silently regressing.
+//!
+//! Writes `BENCH_locality.json` by default.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use precipice_bench::{carve_region, experiment_sim, experiments, torus_of, RegionShape};
+use precipice_core::ProtocolConfig;
+use precipice_runtime::Scenario;
+use precipice_workload::patterns::schedule;
+use precipice_workload::sweep::Jobs;
+
+/// E4 serial wall-clock of the committed pre-locality baseline
+/// (`BENCH_sweep.json`, 1-CPU reference host).
+const E4_BASELINE_SECONDS: f64 = 359.6;
+
+struct SizeRow {
+    n: usize,
+    build_ms: f64,
+    graph_bytes: usize,
+    eager_run_ms: Option<f64>,
+    lazy_run_ms: f64,
+    active_nodes: usize,
+    messages: u64,
+}
+
+fn scenario_for(graph: precipice_graph::Graph, seed: u64) -> Scenario {
+    let region = carve_region(&graph, RegionShape::Blob, 8);
+    Scenario::builder(graph)
+        .name("locality")
+        .crashes(schedule(
+            region.iter(),
+            precipice_workload::patterns::CrashTiming::Simultaneous(
+                precipice_sim::SimTime::from_millis(1),
+            ),
+        ))
+        .protocol(ProtocolConfig::default())
+        .sim_config(experiment_sim(seed, false))
+        .build()
+}
+
+fn mega_smoke(cap_seconds: f64) -> ! {
+    let n = 1 << 20;
+    let started = Instant::now();
+    let build_started = Instant::now();
+    let graph = torus_of(n);
+    let build_s = build_started.elapsed().as_secs_f64();
+    assert_eq!(graph.len(), n);
+    let graph_mb = graph.memory_bytes() as f64 / (1 << 20) as f64;
+    let scenario = scenario_for(graph, 1);
+    let run_started = Instant::now();
+    let report = scenario.run();
+    let run_s = run_started.elapsed().as_secs_f64();
+    let total = started.elapsed().as_secs_f64();
+    println!(
+        "mega-smoke: N=2^20 torus, graph build {build_s:.2}s ({graph_mb:.1} MB), \
+         run {run_s:.3}s, total {total:.2}s"
+    );
+    println!(
+        "  quiescent={}, deciders={}, messages={}, active={}",
+        report.outcome.is_quiescent(),
+        report.decisions.len(),
+        report.metrics.messages_sent(),
+        report.metrics.nodes_with_traffic().len(),
+    );
+    if !report.outcome.is_quiescent() || report.decisions.is_empty() {
+        eprintln!("mega-smoke FAILED: run did not quiesce with decisions");
+        std::process::exit(1);
+    }
+    if total > cap_seconds {
+        eprintln!("mega-smoke FAILED: {total:.1}s exceeds the {cap_seconds:.0}s cap");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    if has("--mega-smoke") {
+        let cap = value_of("--mega-smoke")
+            .map(|v| v.parse::<f64>().expect("--mega-smoke wants seconds"))
+            .unwrap_or(300.0);
+        mega_smoke(cap);
+    }
+    let test_mode = has("--test");
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_locality.json".to_owned());
+
+    let (sizes, seeds): (Vec<usize>, Vec<u64>) = if test_mode {
+        (vec![64, 576], vec![1, 2])
+    } else {
+        (
+            vec![1024, 4096, 16384, 32768, 262_144, 1 << 20],
+            vec![1, 2, 3],
+        )
+    };
+    // Eager runs pre-build all N processes; past this size that is the
+    // very overhead being measured, and the differential tests already
+    // pin equivalence, so the "before" arm stops here.
+    let eager_cap = 32_768usize;
+
+    let mut rows: Vec<SizeRow> = Vec::new();
+    println!(
+        "{:>9} {:>10} {:>11} {:>13} {:>13} {:>8} {:>9}",
+        "N", "build ms", "graph MB", "eager run ms", "lazy run ms", "active", "messages"
+    );
+    for &n in &sizes {
+        let build_started = Instant::now();
+        let graph = torus_of(n);
+        let build_ms = build_started.elapsed().as_secs_f64() * 1000.0;
+        let graph_bytes = graph.memory_bytes();
+
+        let mut eager_ms: Vec<f64> = Vec::new();
+        let mut lazy_ms: Vec<f64> = Vec::new();
+        let mut active_per_seed: Vec<usize> = Vec::new();
+        let mut messages_per_seed: Vec<u64> = Vec::new();
+        for &seed in &seeds {
+            let scenario = scenario_for(graph.clone(), seed);
+            let lazy_started = Instant::now();
+            let lazy = scenario.run();
+            lazy_ms.push(lazy_started.elapsed().as_secs_f64() * 1000.0);
+            active_per_seed.push(lazy.metrics.nodes_with_traffic().len());
+            messages_per_seed.push(lazy.metrics.messages_sent());
+            if graph.len() <= eager_cap {
+                let eager_started = Instant::now();
+                let eager = scenario.run_eager();
+                eager_ms.push(eager_started.elapsed().as_secs_f64() * 1000.0);
+                assert_eq!(
+                    eager.trace_hash, lazy.trace_hash,
+                    "eager and lazy runs diverged at n={n} seed={seed}"
+                );
+                assert_eq!(eager.decisions, lazy.decisions);
+            }
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        // Run times are seed-averaged, so the footprint columns must be
+        // too (latency sampling is seed-dependent; pairing a mean time
+        // with one seed's message count would misrepresent the row).
+        let row = SizeRow {
+            n: graph.len(),
+            build_ms,
+            graph_bytes,
+            eager_run_ms: (!eager_ms.is_empty()).then(|| mean(&eager_ms)),
+            lazy_run_ms: mean(&lazy_ms),
+            active_nodes: mean(
+                &active_per_seed
+                    .iter()
+                    .map(|&a| a as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .round() as usize,
+            messages: mean(
+                &messages_per_seed
+                    .iter()
+                    .map(|&m| m as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .round() as u64,
+        };
+        println!(
+            "{:>9} {:>10.1} {:>11.2} {:>13} {:>13.2} {:>8} {:>9}",
+            row.n,
+            row.build_ms,
+            row.graph_bytes as f64 / (1 << 20) as f64,
+            row.eager_run_ms
+                .map_or("—".to_owned(), |ms| format!("{ms:.2}")),
+            row.lazy_run_ms,
+            row.active_nodes,
+            row.messages
+        );
+        rows.push(row);
+    }
+
+    // E4 serial wall-clock vs the committed baseline.
+    let e4_serial_s = if test_mode || has("--skip-e4") {
+        None
+    } else {
+        println!("\ntiming the full E4 sweep at --jobs 1 ...");
+        let started = Instant::now();
+        let tables = experiments::e4_locality_scaling(Jobs::serial());
+        let secs = started.elapsed().as_secs_f64();
+        for t in &tables {
+            println!("{t}");
+        }
+        println!(
+            "E4 serial: {secs:.1}s (baseline {E4_BASELINE_SECONDS}s, {:.1}x)",
+            E4_BASELINE_SECONDS / secs
+        );
+        Some(secs)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-locality/1\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", Jobs::available().get());
+    let _ = writeln!(json, "  \"test_mode\": {test_mode},");
+    json.push_str("  \"per_run\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"build_ms\": {:.1}, \"graph_bytes\": {}, \"eager_run_ms\": {}, \
+             \"lazy_run_ms\": {:.2}, \"active_nodes\": {}, \"messages\": {}}}",
+            r.n,
+            r.build_ms,
+            r.graph_bytes,
+            r.eager_run_ms
+                .map_or("null".to_owned(), |ms| format!("{ms:.2}")),
+            r.lazy_run_ms,
+            r.active_nodes,
+            r.messages
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    match e4_serial_s {
+        Some(secs) => {
+            let _ = writeln!(
+                json,
+                "  \"e4_serial_seconds\": {secs:.1},\n  \"e4_baseline_seconds\": \
+                 {E4_BASELINE_SECONDS},\n  \"e4_speedup\": {:.2}",
+                E4_BASELINE_SECONDS / secs
+            );
+        }
+        None => {
+            json.push_str("  \"e4_serial_seconds\": null\n");
+        }
+    }
+    json.push_str("}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

@@ -263,23 +263,32 @@ pub fn e4_locality_scaling(jobs: Jobs) -> Vec<Table> {
         ],
     );
     let seeds: [u64; 5] = [1, 2, 3, 4, 5];
-    let sizes = [64usize, 256, 576, 1024, 4096, 16384, 32768];
+    // The 2²⁰ row exists because cliff-edge cost is footprint-
+    // proportional end to end now (CSR graph, lazy activation,
+    // graph-backed failure detection): a million-node run costs no more
+    // than a 64-node one beyond the one-time O(E) graph build.
+    let sizes = [64usize, 256, 576, 1024, 4096, 16384, 32768, 1_048_576];
     let mut specs: Vec<E4Job> = Vec::new();
     for &n in &sizes {
         for &seed in &seeds {
             specs.push(E4Job::Cliff { n, seed });
         }
-        specs.push(E4Job::Gossip { n });
+        // The baselines pay by construction what cliff-edge avoids:
+        // gossip floods O(N) messages (skipped at the 2²⁰ size, where
+        // one flood would dwarf the whole experiment), the global
+        // baseline O(N²) (skipped beyond 576).
+        if n <= 32768 {
+            specs.push(E4Job::Gossip { n });
+        }
         if n <= 576 {
             specs.push(E4Job::Global { n });
         }
     }
-    // One torus and one crashed region per size, shared across jobs —
-    // the dense neighbor-mask table is ~134 MB at n = 32768, far too
-    // heavy to rebuild inside concurrent jobs (`Graph::clone` below is
-    // O(1): the topology is `Arc`-shared), and carving the region once
-    // makes "the baselines crash the same blob as the cliff-edge runs"
-    // structural rather than a convention across job arms.
+    // One torus and one crashed region per size, shared across jobs
+    // (`Graph::clone` below is O(1): the topology is `Arc`-shared), and
+    // carving the region once makes "the baselines crash the same blob
+    // as the cliff-edge runs" structural rather than a convention across
+    // job arms.
     let graphs: BTreeMap<usize, precipice_graph::Graph> =
         sizes.iter().map(|&n| (n, torus_of(n))).collect();
     let regions: BTreeMap<usize, Region> = sizes
@@ -345,7 +354,7 @@ pub fn e4_locality_scaling(jobs: Jobs) -> Vec<Table> {
         let mut bytes = Vec::new();
         let mut active = Vec::new();
         let mut decide = Vec::new();
-        let mut gossip_msgs = 0u64;
+        let mut gossip_msgs: Option<u64> = None;
         let mut global = ("— (quadratic)".to_owned(), "—".to_owned());
         for out in &by_size[&n] {
             match out {
@@ -355,7 +364,7 @@ pub fn e4_locality_scaling(jobs: Jobs) -> Vec<Table> {
                     active.push(cost.active_nodes as f64);
                     decide.push(cost.decision_ms);
                 }
-                E4Out::Gossip(m) => gossip_msgs = *m,
+                E4Out::Gossip(m) => gossip_msgs = Some(*m),
                 E4Out::Global { messages, bytes } => {
                     global = (fmt_num(*messages as f64), fmt_num(*bytes as f64 / 1024.0));
                 }
@@ -367,7 +376,7 @@ pub fn e4_locality_scaling(jobs: Jobs) -> Vec<Table> {
             fmt_num(summarize(&bytes).mean / 1024.0),
             fmt_num(summarize(&active).mean),
             fmt_num(summarize(&decide).mean),
-            gossip_msgs.to_string(),
+            gossip_msgs.map_or_else(|| "— (linear)".to_owned(), |m| m.to_string()),
             global.0,
             global.1,
         ]);

@@ -56,10 +56,10 @@ impl BfsScratch {
             let seen_words = self.seen.words_mut();
             // Hybrid expansion: a whole mask row costs ⌈n/64⌉ word ops
             // and examines 64 candidates per op — worth it only when the
-            // node's degree exceeds the row length. Sparse nodes instead
-            // probe each neighbor with O(1) bit tests.
-            if g.degree(p) >= words {
-                let row = g.neighbor_mask(p);
+            // node's degree exceeds the row length, which is exactly when
+            // the graph caches a dense row. Sparse nodes instead probe
+            // each neighbor with O(1) bit tests.
+            if let Some(row) = g.dense_row(p) {
                 for (i, &m) in row.iter().enumerate() {
                     let set_word = set_words.get(i).copied().unwrap_or(0);
                     let mut fresh = m & set_word & !seen_words[i];

@@ -1,4 +1,4 @@
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
@@ -18,12 +18,21 @@ const BORDER_CACHE_CAP: usize = 1 << 16;
 /// while `G` stays queryable ("using some underlying topology service for
 /// crashed nodes", §2.2).
 ///
-/// Nodes are the dense range `NodeId(0)..NodeId(n)`. Adjacency lists are
-/// kept sorted, enabling deterministic iteration everywhere. Alongside
-/// the sorted lists the graph keeps a dense per-node neighbor *bitmask*
-/// table (one `⌈n/64⌉`-word row per node), which turns set-level border
-/// queries into a handful of OR/AND-NOT word operations — see
-/// [`border_into`](Graph::border_into).
+/// Nodes are the dense range `NodeId(0)..NodeId(n)`. Adjacency is stored
+/// in **CSR form**: one flat sorted `NodeId` array plus an `n + 1` offset
+/// array, so the whole graph costs O(|Π| + |E|) memory and a build is one
+/// counting sort — no per-node allocations and, crucially, no O(n²)-bit
+/// structure anywhere (the previous dense neighbor-mask table was ~134 MB
+/// at n = 32768 and ≥125 GB at n = 10⁶).
+///
+/// Word-parallel set kernels ([`border_into`](Graph::border_into), the
+/// BFS in [`crate::components`]) still want dense bitmask rows for *hub*
+/// nodes whose degree exceeds a mask row's word count. Those rows are
+/// kept in a side cache covering only nodes of degree ≥ ⌈n/64⌉
+/// ([`dense_row`](Graph::dense_row)); since at most `2|E|/⌈n/64⌉` nodes
+/// can qualify, the cache is bounded by `16|E|` bytes — still O(|E|). On
+/// bounded-degree topologies (torus, ring, geometric) it is empty beyond
+/// trivial sizes.
 ///
 /// Borders of [`Region`]s are additionally memoized in a shared,
 /// thread-safe cache ([`border_of_region_cached`](Graph::border_of_region_cached)):
@@ -45,16 +54,17 @@ const BORDER_CACHE_CAP: usize = 1 << 16;
 /// ```
 #[derive(Clone)]
 pub struct Graph {
-    /// Adjacency lists, `Arc`-shared across clones: the topology is
-    /// immutable after [`GraphBuilder::build`], and sweeps clone graphs
-    /// per job — a clone must cost O(1), not a deep copy of the lists.
-    adj: Arc<Vec<Vec<NodeId>>>,
-    /// Flat neighbor bitmask table: row `p` is
-    /// `masks[p*mask_words .. (p+1)*mask_words]`, bit `q` set iff
-    /// `(p, q) ∈ E`. `Arc`-shared like `adj` (~134 MB at n = 32768 —
-    /// the reason clones must not copy it).
-    masks: Arc<Vec<u64>>,
-    /// Words per mask row (`⌈n/64⌉`).
+    /// CSR offsets: the neighbours of `p` are
+    /// `csr[offsets[p] as usize .. offsets[p + 1] as usize]`, sorted.
+    /// `Arc`-shared across clones: the topology is immutable after
+    /// [`GraphBuilder::build`], and sweeps clone graphs per job — a clone
+    /// must cost O(1), not a deep copy.
+    offsets: Arc<Vec<u32>>,
+    /// Flat CSR adjacency array (each undirected edge appears twice).
+    csr: Arc<Vec<NodeId>>,
+    /// Dense bitmask rows for high-degree nodes only (see the type docs).
+    dense: Arc<DenseRows>,
+    /// Words per dense mask row (`⌈n/64⌉`).
     mask_words: usize,
     labels: Option<Vec<String>>,
     edge_count: usize,
@@ -63,11 +73,21 @@ pub struct Graph {
     borders: Arc<RwLock<HashMap<Region, Region>>>,
 }
 
+/// Dense `⌈n/64⌉`-word neighbor-bitmask rows for the nodes whose degree
+/// makes a word-parallel row pass cheaper than per-neighbor bit probes.
+#[derive(Debug, Default)]
+struct DenseRows {
+    /// Node ids owning a row, ascending; row `i` belongs to `ids[i]`.
+    ids: Vec<u32>,
+    /// Row storage: row `i` is `words[i * mask_words .. (i+1) * mask_words]`.
+    words: Vec<u64>,
+}
+
 impl PartialEq for Graph {
     fn eq(&self, other: &Self) -> bool {
-        // The mask table is derived from `adj`; the border cache is a
-        // memo. Neither carries independent information.
-        self.adj == other.adj && self.labels == other.labels
+        // The dense rows are derived from the CSR arrays; the border
+        // cache is a memo. Neither carries independent information.
+        self.offsets == other.offsets && self.csr == other.csr && self.labels == other.labels
     }
 }
 
@@ -94,12 +114,12 @@ impl Graph {
 
     /// Number of nodes `|Π|`.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// `true` if the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Number of undirected edges `|E|`.
@@ -109,7 +129,7 @@ impl Graph {
 
     /// `true` if `id` names a node of this graph.
     pub fn contains(&self, id: NodeId) -> bool {
-        id.index() < self.adj.len()
+        id.index() < self.len()
     }
 
     /// The sorted neighbours of `p` — the paper's `border(p)`.
@@ -117,25 +137,41 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `p` is not a node of this graph.
-    pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
-        &self.adj[p.index()]
-    }
-
-    /// The neighbours of `p` as a dense bitmask row (`mask_words` words,
-    /// bit `q` set iff `(p, q) ∈ E`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is not a node of this graph.
     #[inline]
-    pub fn neighbor_mask(&self, p: NodeId) -> &[u64] {
+    pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
         assert!(self.contains(p), "no such node {p}");
-        &self.masks[p.index() * self.mask_words..(p.index() + 1) * self.mask_words]
+        &self.csr[self.offsets[p.index()] as usize..self.offsets[p.index() + 1] as usize]
     }
 
-    /// Words per neighbor-mask row (`⌈n/64⌉`).
+    /// The dense neighbor-bitmask row of `p` (`mask_words` words, bit `q`
+    /// set iff `(p, q) ∈ E`), if `p` is one of the high-degree nodes the
+    /// graph caches a row for (degree ≥ ⌈n/64⌉). Bounded-degree
+    /// topologies have no such nodes beyond trivial sizes — callers must
+    /// fall back to [`neighbors`](Graph::neighbors).
+    #[inline]
+    pub fn dense_row(&self, p: NodeId) -> Option<&[u64]> {
+        let i = self.dense.ids.binary_search(&p.0).ok()?;
+        Some(&self.dense.words[i * self.mask_words..(i + 1) * self.mask_words])
+    }
+
+    /// Words per dense mask row (`⌈n/64⌉`) — the row length of every
+    /// [`NodeSet`] covering this graph's id range.
     pub fn mask_words(&self) -> usize {
         self.mask_words
+    }
+
+    /// Total heap bytes of the adjacency representation (CSR offsets +
+    /// flat array + dense hub rows + labels). O(|Π| + |E|) by
+    /// construction; the accounting exists so tests can pin the scaling.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.csr.len() * std::mem::size_of::<NodeId>()
+            + self.dense.ids.len() * std::mem::size_of::<u32>()
+            + self.dense.words.len() * std::mem::size_of::<u64>()
+            + self
+                .labels
+                .as_ref()
+                .map_or(0, |ls| ls.iter().map(String::len).sum())
     }
 
     /// Degree of `p` (`|border(p)|`).
@@ -143,28 +179,33 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `p` is not a node of this graph.
+    #[inline]
     pub fn degree(&self, p: NodeId) -> usize {
-        self.adj[p.index()].len()
+        assert!(self.contains(p), "no such node {p}");
+        (self.offsets[p.index() + 1] - self.offsets[p.index()]) as usize
     }
 
     /// `true` if `p` and `q` are adjacent.
     pub fn has_edge(&self, p: NodeId, q: NodeId) -> bool {
-        self.contains(p)
-            && self.contains(q)
-            && self.masks[p.index() * self.mask_words + q.index() / 64] & (1 << (q.index() % 64))
-                != 0
+        if !self.contains(p) || !self.contains(q) {
+            return false;
+        }
+        if let Some(row) = self.dense_row(p) {
+            return row[q.index() / 64] & (1 << (q.index() % 64)) != 0;
+        }
+        self.neighbors(p).binary_search(&q).is_ok()
     }
 
     /// Iterates over all node ids in increasing order.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId::from_index)
+        (0..self.len()).map(NodeId::from_index)
     }
 
     /// Iterates over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            let u = NodeId::from_index(u);
-            nbrs.iter()
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
                 .copied()
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
@@ -172,10 +213,12 @@ impl Graph {
     }
 
     /// Writes `border(members)` into `out` (cleared first): the union of
-    /// the members' neighbor masks, minus the members themselves. This is
-    /// the word-parallel kernel every border query funnels through —
-    /// `|S| + 1` passes of OR/AND-NOT over `⌈n/64⌉`-word rows, no
-    /// allocation beyond `out`'s backing words.
+    /// the members' neighbourhoods, minus the members themselves. This is
+    /// the word-parallel kernel every border query funnels through. Each
+    /// member contributes either a full OR pass over its cached dense row
+    /// (hub nodes, degree ≥ ⌈n/64⌉) or per-neighbor bit sets (everyone
+    /// else — all nodes on bounded-degree topologies); no allocation
+    /// beyond `out`'s backing words.
     ///
     /// # Panics
     ///
@@ -186,16 +229,15 @@ impl Graph {
         out_words.clear();
         out_words.resize(words, 0);
         for p in members.iter() {
-            assert!(p.index() < self.adj.len(), "no such node {p}");
-            // Hybrid: OR the precomputed row when the degree justifies a
-            // full ⌈n/64⌉-word pass, otherwise set per-neighbor bits.
-            if self.adj[p.index()].len() >= words {
-                let row = &self.masks[p.index() * words..(p.index() + 1) * words];
+            assert!(p.index() < self.len(), "no such node {p}");
+            // Hybrid: OR the cached row when the degree justifies a full
+            // ⌈n/64⌉-word pass, otherwise set per-neighbor bits.
+            if let Some(row) = self.dense_row(p) {
                 for (o, &m) in out_words.iter_mut().zip(row) {
                     *o |= m;
                 }
             } else {
-                for q in &self.adj[p.index()] {
+                for q in self.neighbors(p) {
                     out_words[q.index() / 64] |= 1 << (q.index() % 64);
                 }
             }
@@ -298,7 +340,7 @@ impl Graph {
 
     /// `true` if the whole graph is connected (or empty).
     pub fn is_connected(&self) -> bool {
-        if self.adj.is_empty() {
+        if self.is_empty() {
             return true;
         }
         let mut all = NodeSet::with_capacity(self.len());
@@ -319,6 +361,11 @@ impl fmt::Debug for Graph {
 
 /// Incremental builder for [`Graph`].
 ///
+/// Accumulates a plain edge list and materializes the CSR arrays in one
+/// counting-sort pass at [`build`](GraphBuilder::build) — O(|E| log Δ)
+/// time, O(|E|) transient memory, no per-node containers (a
+/// million-node torus builds in a fraction of a second).
+///
 /// # Example
 ///
 /// ```
@@ -331,7 +378,8 @@ impl fmt::Debug for Graph {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
-    adj: Vec<BTreeSet<NodeId>>,
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
     labels: Option<Vec<String>>,
 }
 
@@ -339,7 +387,8 @@ impl GraphBuilder {
     /// Starts a builder for a graph with `n` unlabeled nodes and no edges.
     pub fn new(n: usize) -> Self {
         GraphBuilder {
-            adj: vec![BTreeSet::new(); n],
+            n,
+            edges: Vec::new(),
             labels: None,
         }
     }
@@ -349,33 +398,33 @@ impl GraphBuilder {
     pub fn with_labels<S: Into<String>, I: IntoIterator<Item = S>>(labels: I) -> Self {
         let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
         GraphBuilder {
-            adj: vec![BTreeSet::new(); labels.len()],
+            n: labels.len(),
+            edges: Vec::new(),
             labels: Some(labels),
         }
     }
 
     /// Number of nodes the built graph will have.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// `true` if the builder holds no nodes.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.n == 0
     }
 
     /// Adds the undirected edge `(u, v)`. Self-loops and duplicates are
-    /// silently ignored.
+    /// silently ignored (duplicates are collapsed at build time).
     ///
     /// # Panics
     ///
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
-        assert!(u.index() < self.adj.len(), "edge endpoint {u} out of range");
-        assert!(v.index() < self.adj.len(), "edge endpoint {v} out of range");
+        assert!(u.index() < self.n, "edge endpoint {u} out of range");
+        assert!(v.index() < self.n, "edge endpoint {v} out of range");
         if u != v {
-            self.adj[u.index()].insert(v);
-            self.adj[v.index()].insert(u);
+            self.edges.push((u, v));
         }
         self
     }
@@ -398,27 +447,75 @@ impl GraphBuilder {
         self.add_edge(u, v)
     }
 
-    /// Finalizes the graph, precomputing the neighbor bitmask table.
+    /// Finalizes the graph: counting-sorts the edge list into CSR form
+    /// (sorting and deduplicating each adjacency row) and precomputes
+    /// dense bitmask rows for high-degree nodes.
     pub fn build(self) -> Graph {
-        let n = self.adj.len();
+        let n = self.n;
         let mask_words = words_for(n);
-        let mut masks = vec![0u64; n * mask_words];
-        let adj: Vec<Vec<NodeId>> = self
-            .adj
-            .into_iter()
-            .enumerate()
-            .map(|(p, s)| {
-                let row = &mut masks[p * mask_words..(p + 1) * mask_words];
-                for q in &s {
-                    row[q.index() / 64] |= 1 << (q.index() % 64);
+        assert!(
+            self.edges.len() <= (u32::MAX as usize) / 2,
+            "edge list too large for u32 CSR offsets"
+        );
+
+        // Counting sort by source endpoint (each edge contributes both
+        // directions), then sort + dedup each row while compacting.
+        let mut counts = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            counts[u.index() + 1] += 1;
+            counts[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let total = counts[n] as usize;
+        let mut scatter: Vec<NodeId> = vec![NodeId(0); total];
+        let mut cursor = counts.clone();
+        for &(u, v) in &self.edges {
+            scatter[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            scatter[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        drop(cursor);
+
+        let mut offsets = vec![0u32; n + 1];
+        let mut csr: Vec<NodeId> = Vec::with_capacity(total);
+        for p in 0..n {
+            let row = &mut scatter[counts[p] as usize..counts[p + 1] as usize];
+            row.sort_unstable();
+            let start = csr.len();
+            for &q in row.iter() {
+                if csr.len() == start || *csr.last().expect("non-empty") != q {
+                    csr.push(q);
                 }
-                s.into_iter().collect()
-            })
-            .collect();
-        let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
+            }
+            offsets[p + 1] = csr.len() as u32;
+        }
+        drop(scatter);
+        csr.shrink_to_fit();
+        let edge_count = csr.len() / 2;
+
+        // Dense rows only where a full ⌈n/64⌉-word pass beats per-neighbor
+        // probes. At most 2|E|/mask_words nodes qualify, so the cache is
+        // ≤ 16|E| bytes — O(|E|), never O(n²) bits.
+        let mut dense = DenseRows::default();
+        for p in 0..n {
+            let (lo, hi) = (offsets[p] as usize, offsets[p + 1] as usize);
+            if mask_words > 0 && hi - lo >= mask_words {
+                dense.ids.push(p as u32);
+                let base = dense.words.len();
+                dense.words.resize(base + mask_words, 0);
+                for q in &csr[lo..hi] {
+                    dense.words[base + q.index() / 64] |= 1 << (q.index() % 64);
+                }
+            }
+        }
+
         Graph {
-            adj: Arc::new(adj),
-            masks: Arc::new(masks),
+            offsets: Arc::new(offsets),
+            csr: Arc::new(csr),
+            dense: Arc::new(dense),
             mask_words,
             labels: self.labels,
             edge_count,
@@ -452,17 +549,54 @@ mod tests {
     }
 
     #[test]
-    fn masks_mirror_adjacency() {
+    fn dense_rows_mirror_adjacency() {
+        // n = 70 ⇒ mask_words = 2; every node of degree ≥ 2 gets a row.
         let g = Graph::from_edges(70, [(0, 1), (1, 69), (69, 0), (5, 64)]);
         assert_eq!(g.mask_words(), 2);
         for p in g.nodes() {
-            let row = g.neighbor_mask(p);
-            let from_mask: Vec<NodeId> = (0..g.len())
-                .filter(|&q| row[q / 64] & (1 << (q % 64)) != 0)
-                .map(NodeId::from_index)
-                .collect();
-            assert_eq!(from_mask, g.neighbors(p).to_vec(), "mask row of {p}");
+            match g.dense_row(p) {
+                Some(row) => {
+                    assert!(g.degree(p) >= g.mask_words(), "sparse {p} has a row");
+                    let from_row: Vec<NodeId> = (0..g.len())
+                        .filter(|&q| row[q / 64] & (1 << (q % 64)) != 0)
+                        .map(NodeId::from_index)
+                        .collect();
+                    assert_eq!(from_row, g.neighbors(p).to_vec(), "row of {p}");
+                }
+                None => assert!(g.degree(p) < g.mask_words(), "hub {p} lacks a row"),
+            }
         }
+        // Hub nodes 0, 1, 69 (degree 2) have rows; 5 and 64 (degree 1)
+        // fall back to the CSR row.
+        assert!(g.dense_row(NodeId(0)).is_some());
+        assert!(g.dense_row(NodeId(5)).is_none());
+        assert!(g.has_edge(NodeId(5), NodeId(64)) && g.has_edge(NodeId(64), NodeId(5)));
+    }
+
+    #[test]
+    fn memory_is_edge_proportional() {
+        // A 4-regular torus-like edge set: memory must scale with E, not
+        // n²/8 the way the old dense mask table did.
+        let n = 65_536usize;
+        let side = 256;
+        let mut b = GraphBuilder::new(n);
+        for y in 0..side {
+            for x in 0..side {
+                let id = |x: usize, y: usize| NodeId::from_index(y * side + x);
+                b.add_edge(id(x, y), id((x + 1) % side, y));
+                b.add_edge(id(x, y), id(x, (y + 1) % side));
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2 * n);
+        // CSR: (n+1)*4 offset bytes + 4E*4 adjacency bytes ≈ 1.3 MB. The
+        // old mask table alone was n²/8 = 512 MB here.
+        assert!(
+            g.memory_bytes() < 10 << 20,
+            "adjacency should be well under 10 MB, got {}",
+            g.memory_bytes()
+        );
+        assert!(g.dense_row(NodeId(0)).is_none(), "torus rows stay sparse");
     }
 
     #[test]

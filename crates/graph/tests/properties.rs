@@ -271,3 +271,40 @@ fn ring_components_wrap() {
     assert_eq!(comps.len(), 1);
     assert_eq!(comps[0].len(), 3);
 }
+
+/// Footprint-proportional graphs at the north-star scale: a 2²⁰-node
+/// torus (the E4 mega size) builds in O(E), costs O(E) memory, and
+/// answers border/adjacency/BFS queries — the exact operations the
+/// protocol issues — without any O(n²) structure. A ~4 ms debug-mode
+/// guard keeps this in the tier-1 suite (the CSR build is a counting
+/// sort, ~350 ms unoptimized).
+#[test]
+fn mega_torus_builds_and_answers_border_queries() {
+    let side = 1 << 10;
+    let g = torus(GridDims::square(side));
+    assert_eq!(g.len(), 1 << 20);
+    assert_eq!(g.edge_count(), 2 << 20);
+    // CSR + offsets ≈ 20 MB; the old dense mask table would have been
+    // n²/8 = 128 GB. Generous 64 MB ceiling so allocator slack never
+    // flakes the bound.
+    assert!(
+        g.memory_bytes() < 64 << 20,
+        "2^20 torus must stay O(E): {} bytes",
+        g.memory_bytes()
+    );
+    // Border of an interior node: its four torus neighbours.
+    let center = NodeId((g.len() / 2) as u32);
+    let border = g.border_of([center]);
+    assert_eq!(border.len(), 4);
+    for q in &border {
+        assert!(g.has_edge(center, *q));
+        assert!(g.has_edge(*q, center));
+    }
+    // A small crashed blob's border and components behave at scale.
+    let blob: BTreeSet<NodeId> = [center, border[0], border[1]].into_iter().collect();
+    let comps = connected_components(&g, &blob);
+    assert_eq!(comps.len(), 1, "blob around the center is connected");
+    let blob_border = g.border_of(blob.iter().copied());
+    assert!(blob_border.len() >= 6 && blob_border.len() <= 9);
+    assert!(blob_border.iter().all(|q| !blob.contains(q)));
+}

@@ -58,7 +58,7 @@ impl Scenario {
     pub fn run_with_policy<P, F>(&self, make_policy: F) -> RunReport<P::Value>
     where
         P: DecisionPolicy,
-        F: FnMut(NodeId) -> P,
+        F: FnMut(NodeId) -> P + 'static,
     {
         self.run_scheduled_with_policy(make_policy, SchedulePolicy::Fifo)
             .0
@@ -67,7 +67,58 @@ impl Scenario {
     /// The general runner: decision policy × scheduling policy. The
     /// second return value is the recorded schedule trace (`None` under
     /// [`SchedulePolicy::Fifo`], which records nothing).
+    ///
+    /// # Footprint-proportional execution
+    ///
+    /// Nodes are spawned **lazily** ([`Simulation::lazy_with_policy`]):
+    /// `make_policy` and the node constructor run on demand, immediately
+    /// before a node's first event, and the failure detector resolves
+    /// crash observers straight from the graph (the paper's §3.1
+    /// `monitorCrash(border(p))`, resolved at crash time). Per-run setup
+    /// cost and memory are therefore proportional to the crashed
+    /// region's footprint, not to `n` — the implementation-level form of
+    /// the paper's headline locality claim. The execution is
+    /// bit-identical to the eager reference
+    /// ([`run_eager_scheduled_with_policy`](Scenario::run_eager_scheduled_with_policy)):
+    /// same trace hash, metrics, decisions, and recorded schedule —
+    /// differentially tested in `tests/lazy_eager_differential.rs`.
+    /// Stats and decisions are collected from activated nodes only;
+    /// non-activated nodes have default stats and no decision, so every
+    /// derived table is unchanged.
     pub fn run_scheduled_with_policy<P, F>(
+        &self,
+        make_policy: F,
+        schedule: SchedulePolicy,
+    ) -> (RunReport<P::Value>, Option<Schedule>)
+    where
+        P: DecisionPolicy,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        let graph = Arc::clone(&self.graph);
+        let protocol = self.protocol;
+        let multicast = self.multicast;
+        let mut make_policy = make_policy;
+        let factory = move |me: NodeId| {
+            ProtocolProcess::with_multicast_mode(
+                CliffEdgeNode::new(me, Arc::clone(&graph), make_policy(me), protocol),
+                multicast,
+            )
+        };
+        let mut sim = Simulation::lazy_with_policy(self.sim, &self.graph, factory, schedule);
+        for &(node, at) in &self.crashes {
+            sim.schedule_crash(node, at);
+        }
+        let outcome = sim.run();
+        self.collect(sim, outcome)
+    }
+
+    /// The **eager reference runner**: pre-builds all `n` processes and
+    /// runs their `on_start` at time zero, exactly as the simulator
+    /// always did before lazy activation. Kept as the executable
+    /// specification the lazy path is differentially tested against, and
+    /// as the "before" arm of the `bench_locality` report. Output is
+    /// bit-identical to [`run_scheduled_with_policy`](Self::run_scheduled_with_policy).
+    pub fn run_eager_scheduled_with_policy<P, F>(
         &self,
         mut make_policy: F,
         schedule: SchedulePolicy,
@@ -91,7 +142,23 @@ impl Scenario {
             sim.schedule_crash(node, at);
         }
         let outcome = sim.run();
+        self.collect(sim, outcome)
+    }
 
+    /// Eager reference run with the default policy and FIFO scheduling.
+    pub fn run_eager(&self) -> RunReport<NodeId> {
+        self.run_eager_scheduled_with_policy(|_me| NodeIdValuePolicy, SchedulePolicy::Fifo)
+            .0
+    }
+
+    /// Assembles the report from a finished simulation (shared by the
+    /// lazy and eager runners; under lazy execution `sim.processes()`
+    /// yields activated nodes only, which carry everything observable).
+    fn collect<P: DecisionPolicy>(
+        &self,
+        sim: Simulation<ProtocolProcess<P>>,
+        outcome: precipice_sim::RunOutcome,
+    ) -> (RunReport<P::Value>, Option<Schedule>) {
         let crashed: BTreeMap<NodeId, SimTime> = self
             .crashes
             .iter()
@@ -105,7 +172,13 @@ impl Scenario {
         let mut decisions = BTreeMap::new();
         let mut stats = BTreeMap::new();
         for (id, proc) in sim.processes() {
-            stats.insert(id, *proc.node().stats());
+            // Zeroed stats carry no information and would make the map
+            // O(n); skipping them keeps lazy and eager reports
+            // byte-identical (a never-activated node trivially has
+            // default stats) and every aggregate (sums, maxes) unchanged.
+            if *proc.node().stats() != Default::default() {
+                stats.insert(id, *proc.node().stats());
+            }
             if let Some((view, value, at)) = proc.decision() {
                 decisions.insert(
                     id,

@@ -1,0 +1,176 @@
+//! Differential tests: the lazy, footprint-proportional runner
+//! ([`Scenario::run_scheduled_with_policy`] — spawn-on-demand processes,
+//! graph-backed failure detection) must be **byte-identical** to the
+//! eager reference ([`Scenario::run_eager_scheduled_with_policy`] — all
+//! `n` processes pre-built, `on_start` at time zero) on every
+//! observable: trace hash, metrics, decisions, per-node stats, digest,
+//! and the recorded schedule, across seeds × topologies ×
+//! [`SchedulePolicy`]s.
+//!
+//! This is the executable form of the equivalence argument: cliff-edge
+//! `on_start` only monitors `border(me)`, which the graph-backed
+//! detector resolves structurally at crash time, so deferring a node's
+//! construction to its first event changes nothing the run can observe.
+
+use proptest::prelude::*;
+
+use precipice_graph::{random_geometric_connected, ring, torus, Graph, GridDims, NodeId};
+use precipice_runtime::Scenario;
+use precipice_sim::{SchedulePolicy, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+enum Topo {
+    Torus,
+    Ring,
+    Geometric,
+}
+
+/// A connected blob of `k` nodes grown breadth-first from `seed_node`
+/// (the workload crate's `blob_of_size`, inlined — runtime sits below
+/// workload in the dependency order).
+fn blob_of_size(graph: &Graph, seed_node: NodeId, k: usize) -> Vec<NodeId> {
+    let mut blob = vec![seed_node];
+    let mut cursor = 0;
+    while blob.len() < k && cursor < blob.len() {
+        let p = blob[cursor];
+        cursor += 1;
+        for &q in graph.neighbors(p) {
+            if blob.len() >= k {
+                break;
+            }
+            if !blob.contains(&q) {
+                blob.push(q);
+            }
+        }
+    }
+    blob.sort_unstable();
+    blob
+}
+
+fn build_graph(topo: Topo, n: usize) -> Graph {
+    match topo {
+        Topo::Torus => {
+            let side = (n as f64).sqrt().ceil().max(3.0) as usize;
+            torus(GridDims::square(side))
+        }
+        Topo::Ring => ring(n.max(4)),
+        Topo::Geometric => random_geometric_connected(n.max(8), 0.35, 42),
+    }
+}
+
+fn build_scenario(topo: Topo, n: usize, k: usize, gap_ms: u64, seed: u64) -> Scenario {
+    let graph = build_graph(topo, n);
+    let center = NodeId((graph.len() / 2) as u32);
+    let region = blob_of_size(&graph, center, k.min(graph.len() / 3).max(1));
+    let crashes: Vec<(NodeId, SimTime)> = region
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, SimTime::from_millis(1 + gap_ms * i as u64)))
+        .collect();
+    Scenario::builder(graph)
+        .name("lazy-vs-eager")
+        .crashes(crashes)
+        .seed(seed)
+        .sim_config(precipice_sim::SimConfig {
+            seed,
+            latency: precipice_sim::LatencyModel::Uniform {
+                min: SimTime::from_micros(200),
+                max: SimTime::from_millis(2),
+            },
+            fd_latency: precipice_sim::LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(5),
+            },
+            record_trace: true,
+            max_events: Some(5_000_000),
+        })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lazy_runs_are_byte_identical_to_eager(
+        topo in prop_oneof![Just(Topo::Torus), Just(Topo::Ring), Just(Topo::Geometric)],
+        n in 9usize..64,
+        k in 1usize..6,
+        gap_ms in prop_oneof![Just(0u64), Just(2u64), Just(30u64)],
+        seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+        policy_kind in 0usize..3,
+    ) {
+        let policy = match policy_kind {
+            0 => SchedulePolicy::Fifo,
+            1 => SchedulePolicy::Random(policy_seed),
+            _ => SchedulePolicy::Pcr(policy_seed),
+        };
+        let scenario = build_scenario(topo, n, k, gap_ms, seed);
+        let (lazy, lazy_sched) = scenario.run_scheduled_with_policy(
+            |_me| precipice_core::NodeIdValuePolicy,
+            policy.clone(),
+        );
+        let (eager, eager_sched) = scenario.run_eager_scheduled_with_policy(
+            |_me| precipice_core::NodeIdValuePolicy,
+            policy,
+        );
+
+        prop_assert_eq!(lazy.trace_hash, eager.trace_hash, "trace diverged");
+        prop_assert_eq!(&lazy.decisions, &eager.decisions);
+        prop_assert_eq!(&lazy.metrics, &eager.metrics);
+        prop_assert_eq!(&lazy.stats, &eager.stats);
+        prop_assert_eq!(&lazy.message_pairs, &eager.message_pairs);
+        prop_assert_eq!(lazy.outcome, eager.outcome);
+        prop_assert_eq!(lazy_sched, eager_sched, "recorded schedules diverged");
+        prop_assert_eq!(lazy.digest(), eager.digest());
+    }
+
+    /// Replaying a lazily-recorded schedule through the eager runner (and
+    /// vice versa) reproduces the run — recorded schedules are
+    /// representation-independent.
+    #[test]
+    fn recorded_schedules_replay_across_runners(
+        n in 9usize..36,
+        k in 1usize..4,
+        seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let scenario = build_scenario(Topo::Torus, n, k, 2, seed);
+        let (lazy, sched) = scenario.run_scheduled(SchedulePolicy::Random(policy_seed));
+        let (eager_replay, _) = scenario.run_eager_scheduled_with_policy(
+            |_me| precipice_core::NodeIdValuePolicy,
+            SchedulePolicy::Replay(sched.clone()),
+        );
+        prop_assert_eq!(lazy.trace_hash, eager_replay.trace_hash);
+        let (lazy_replay, resched) =
+            scenario.run_scheduled(SchedulePolicy::Replay(sched.clone()));
+        prop_assert_eq!(lazy.trace_hash, lazy_replay.trace_hash);
+        prop_assert_eq!(resched, sched);
+    }
+}
+
+/// A border node that never sends or receives a protocol message before
+/// the crash — i.e. is never activated until its notification arrives —
+/// still observes the crash exactly once, and its stats say so.
+#[test]
+fn never_activated_border_node_gets_exactly_one_notification() {
+    let graph = ring(12);
+    let scenario = Scenario::builder(graph)
+        .name("fd-static")
+        .crash(NodeId(6), SimTime::from_millis(1))
+        .build();
+    let report = scenario.run();
+    assert!(report.outcome.is_quiescent());
+    for border in [NodeId(5), NodeId(7)] {
+        let stats = report.stats[&border];
+        assert_eq!(
+            stats.crashes_detected, 1,
+            "{border} must see the crash exactly once"
+        );
+    }
+    // Nodes away from the crash never activated: no stats entries.
+    assert!(!report.stats.contains_key(&NodeId(0)));
+    assert!(!report.stats.contains_key(&NodeId(11)));
+    // And the run decided on the crashed region.
+    assert_eq!(report.decisions.len(), 2);
+}

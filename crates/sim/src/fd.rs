@@ -1,6 +1,7 @@
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use precipice_graph::NodeId;
+use precipice_graph::{Graph, NodeId};
 
 /// State of the perfect failure detector service (paper §3.1).
 ///
@@ -11,6 +12,24 @@ use precipice_graph::NodeId;
 /// by the detection latency) notification — required for strong
 /// completeness when detection races with subscription.
 ///
+/// # Graph-backed static monitoring
+///
+/// Every cliff-edge node's first act is `monitorCrash(border(me))`
+/// (Algorithm 1, line 4) — under an eager simulation that costs O(|E|)
+/// subscription bookkeeping before the first event fires. A detector
+/// built with [`with_static_graph`](FailureDetector::with_static_graph)
+/// instead treats the neighbourhood rule as *structural*: every node is
+/// considered subscribed to each of its graph neighbours from time zero,
+/// and a crashed node's observers are resolved **at crash time** as
+/// `neighbors(q) ∪ dynamic subscribers`, merged in ascending id order —
+/// the same set, in the same order, that explicit init-time
+/// subscriptions would have produced, so notification scheduling (and
+/// hence every RNG draw and trace entry downstream) is bit-identical to
+/// the eager detector. Only subscriptions *beyond* the subscriber's own
+/// neighbourhood (line 7's `monitorCrash(border(q))` for a crashed `q`)
+/// are recorded dynamically. This is semantically the paper's
+/// `monitorCrash(border(p))`, resolved lazily.
+///
 /// The detector is trivially *perfect* in the simulator because it is
 /// driven by the authoritative crash schedule: it never suspects a live
 /// node (strong accuracy) and never misses a crashed one (strong
@@ -20,6 +39,10 @@ use precipice_graph::NodeId;
 /// notification events is the [`Simulation`](crate::Simulation)'s job.
 #[derive(Debug, Clone, Default)]
 pub struct FailureDetector {
+    /// When set, `neighbors(q)` are implicit subscribers of `q` (see the
+    /// type docs); `subscribers` then only holds out-of-neighbourhood
+    /// dynamic subscriptions.
+    static_graph: Option<Arc<Graph>>,
     /// target -> set of subscribed observers not yet notified.
     subscribers: BTreeMap<NodeId, BTreeSet<NodeId>>,
     /// (observer, target) pairs already notified or with a notification
@@ -35,6 +58,17 @@ impl FailureDetector {
         FailureDetector::default()
     }
 
+    /// A detector whose static monitoring rule is `graph`: every node
+    /// implicitly monitors its neighbours from time zero (see the type
+    /// docs). Subscriptions covered by the rule become no-ops; everything
+    /// else behaves exactly like [`new`](FailureDetector::new).
+    pub fn with_static_graph(graph: Arc<Graph>) -> Self {
+        FailureDetector {
+            static_graph: Some(graph),
+            ..FailureDetector::default()
+        }
+    }
+
     /// `true` if `node` has crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.crashed.contains(&node)
@@ -43,6 +77,14 @@ impl FailureDetector {
     /// The set of crashed nodes.
     pub fn crashed(&self) -> &BTreeSet<NodeId> {
         &self.crashed
+    }
+
+    /// `true` if the static rule already covers `observer` watching
+    /// `target`.
+    fn statically_monitors(&self, observer: NodeId, target: NodeId) -> bool {
+        self.static_graph
+            .as_ref()
+            .is_some_and(|g| g.has_edge(observer, target))
     }
 
     /// Records that `observer` monitors `target`.
@@ -58,23 +100,55 @@ impl FailureDetector {
             self.notified.insert((observer, target));
             return true;
         }
-        self.subscribers.entry(target).or_default().insert(observer);
+        // A statically covered pair needs no bookkeeping: the crash of
+        // `target` resolves `observer` from the graph. (If `target` had
+        // already crashed, the pair was notified then, so the branches
+        // above keep exactly-once intact.)
+        if !self.statically_monitors(observer, target) {
+            self.subscribers.entry(target).or_default().insert(observer);
+        }
         false
     }
 
     /// Records the crash of `node` and returns the observers that must be
-    /// notified (each at most once, ever).
+    /// notified (each at most once, ever), in ascending id order.
     pub fn record_crash(&mut self, node: NodeId) -> Vec<NodeId> {
         let newly = self.crashed.insert(node);
         debug_assert!(newly, "node {node} crashed twice");
-        let observers = self.subscribers.remove(&node).unwrap_or_default();
-        let mut to_notify = Vec::new();
-        for obs in observers {
-            if self.notified.insert((obs, node)) {
-                to_notify.push(obs);
+        let dynamic = self.subscribers.remove(&node).unwrap_or_default();
+        let mut observers: Vec<NodeId> = match &self.static_graph {
+            // Ascending merge of the (sorted) neighbourhood with the
+            // (sorted) dynamic subscribers; both are duplicate-free and
+            // `subscribe` never stores a statically covered pair, but a
+            // dedup merge keeps the invariant local.
+            Some(g) => {
+                let mut merged = Vec::with_capacity(g.degree(node) + dynamic.len());
+                let mut a = g.neighbors(node).iter().copied().peekable();
+                let mut b = dynamic.into_iter().peekable();
+                loop {
+                    let pick = match (a.peek(), b.peek()) {
+                        (Some(&x), Some(&y)) => {
+                            if x <= y {
+                                if x == y {
+                                    b.next();
+                                }
+                                a.next()
+                            } else {
+                                b.next()
+                            }
+                        }
+                        (Some(_), None) => a.next(),
+                        (None, Some(_)) => b.next(),
+                        (None, None) => break,
+                    };
+                    merged.extend(pick);
+                }
+                merged
             }
-        }
-        to_notify
+            None => dynamic.into_iter().collect(),
+        };
+        observers.retain(|&obs| self.notified.insert((obs, node)));
+        observers
     }
 }
 
@@ -178,5 +252,47 @@ mod tests {
             fd.crashed().iter().copied().collect::<Vec<_>>(),
             vec![NodeId(1), NodeId(3)]
         );
+    }
+
+    /// Graph-backed rule: crash resolution covers all graph neighbours
+    /// (whether or not any of them ever subscribed) merged in ascending
+    /// order with out-of-neighbourhood dynamic subscribers — exactly the
+    /// observer set explicit init-time subscriptions would produce.
+    #[test]
+    fn static_graph_resolves_neighbors_at_crash_time() {
+        // Star around node 2: neighbors(2) = {0, 1, 3, 4}.
+        let g = Arc::new(Graph::from_edges(
+            6,
+            [(2, 0), (2, 1), (2, 3), (2, 4), (4, 5)],
+        ));
+        let mut fd = FailureDetector::with_static_graph(Arc::clone(&g));
+        // n5 is not adjacent to n2 — a genuinely dynamic subscription.
+        assert!(!fd.subscribe(NodeId(5), NodeId(2)));
+        // A statically covered subscription is a silent no-op.
+        assert!(!fd.subscribe(NodeId(1), NodeId(2)));
+        let notified = fd.record_crash(NodeId(2));
+        assert_eq!(
+            notified,
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4), NodeId(5)],
+            "neighbors ∪ dynamic subscribers, ascending"
+        );
+        // Exactly-once holds for static pairs too.
+        assert!(!fd.subscribe(NodeId(0), NodeId(2)));
+        assert!(!fd.subscribe(NodeId(5), NodeId(2)));
+    }
+
+    /// Subscribing to an already-crashed node fires immediately exactly
+    /// when the pair was not statically resolved at crash time.
+    #[test]
+    fn static_graph_late_subscription_semantics() {
+        let g = Arc::new(Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]));
+        let mut fd = FailureDetector::with_static_graph(g);
+        assert_eq!(fd.record_crash(NodeId(1)), vec![NodeId(0), NodeId(2)]);
+        // Static neighbours were notified at crash time: silent.
+        assert!(!fd.subscribe(NodeId(0), NodeId(1)));
+        // n3 is two hops away: a late dynamic subscription fires now,
+        // exactly once.
+        assert!(fd.subscribe(NodeId(3), NodeId(1)));
+        assert!(!fd.subscribe(NodeId(3), NodeId(1)));
     }
 }

@@ -13,7 +13,10 @@ pub struct NodeMetrics {
     pub sent_bytes: u64,
     /// Messages delivered to this node.
     pub delivered: u64,
-    /// Handler invocations (start + deliveries + crash notifications).
+    /// Event-handler invocations (deliveries + crash notifications).
+    /// `on_start` is *not* counted: under lazy activation it runs only
+    /// for nodes the run actually touches, and the accounting must be
+    /// identical between eager and lazy executions.
     pub activations: u64,
 }
 
@@ -24,7 +27,10 @@ pub struct NodeMetrics {
 /// crashed region, not on the system size, and that *which nodes* spend
 /// messages is confined to the region's border
 /// ([`nodes_with_traffic`](Metrics::nodes_with_traffic)).
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter — the lazy-vs-eager differential
+/// tests assert whole-`Metrics` equality.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     per_node: BTreeMap<NodeId, NodeMetrics>,
     messages_sent: u64,

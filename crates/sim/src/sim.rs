@@ -1,7 +1,8 @@
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
-use precipice_graph::NodeId;
+use precipice_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -119,28 +120,73 @@ impl<M> Ord for Entry<M> {
     }
 }
 
+/// Storage of the node programs: a pre-built dense vector (eager), or a
+/// factory plus the map of nodes activated so far (lazy).
+enum ProcessTable<P> {
+    /// Every process exists up front; `on_start` runs for all of them at
+    /// time zero (the classic mode).
+    Eager(Vec<P>),
+    /// Processes are spawned on demand: a node's process is constructed —
+    /// and its `on_start` run — immediately before its first event
+    /// (delivery or crash notification) is dispatched. Nodes that never
+    /// receive an event are never materialized, so per-run memory and
+    /// setup cost are proportional to the *active footprint*, not to `n`.
+    Lazy {
+        /// Total node count (ids `0..n`).
+        n: usize,
+        /// Spawns the process for a node, called at most once per node.
+        factory: Box<dyn FnMut(NodeId) -> P>,
+        /// Activated processes, keyed by id (ascending iteration).
+        active: BTreeMap<NodeId, P>,
+    },
+}
+
+impl<P> ProcessTable<P> {
+    fn len(&self) -> usize {
+        match self {
+            ProcessTable::Eager(v) => v.len(),
+            ProcessTable::Lazy { n, .. } => *n,
+        }
+    }
+}
+
 /// Deterministic discrete-event simulator over a set of [`Process`]es.
 ///
-/// Nodes are identified by their index in the process vector. See the
-/// [crate docs](crate) for an end-to-end example.
+/// Nodes are identified by their index in the process vector (or by
+/// `NodeId(0)..NodeId(n)` in [lazy mode](Simulation::lazy_with_policy)).
+/// See the [crate docs](crate) for an end-to-end example.
 pub struct Simulation<P: Process> {
     config: SimConfig,
-    processes: Vec<P>,
+    procs: ProcessTable<P>,
     crashed: Vec<bool>,
     queue: BinaryHeap<Entry<P::Msg>>,
     /// Pending events in push (seq) order — used instead of `queue` when
     /// an exploring [`SchedulePolicy`] is installed, so the scheduler can
     /// pick any enabled event, not just the latency-ordered head.
-    pending: Vec<Entry<P::Msg>>,
+    /// Executed entries become `None` tombstones (swap-free removal); the
+    /// vector is compacted once dead slots outnumber live ones, so the
+    /// per-step cost is the live candidate scan, not a middle-of-the-vec
+    /// `remove` plus a rebuilt index map.
+    pending: Vec<Option<Entry<P::Msg>>>,
+    pending_live: usize,
     explorer: Option<Explorer>,
+    /// Scratch for `pop_next`: channels already seen this scan (the first
+    /// live entry per channel is its FIFO-enabled head). Reused across
+    /// steps; only membership-tested, never iterated, so the hash order
+    /// cannot leak into scheduling.
+    seen_channels: HashSet<(NodeId, NodeId)>,
+    /// Scratch candidate list for `pop_next`, reused across steps.
+    candidates: Vec<Candidate>,
     /// Last scheduled delivery time per directed channel; clamping new
     /// deliveries to it keeps channels FIFO under jittery latency.
     ///
-    /// Stored as one dense `n`-slot row per *sender*, allocated lazily on
-    /// the sender's first send: indexing is two array lookups instead of
-    /// a hash per message, and in localized workloads (the protocol's
-    /// whole point) only the handful of active senders pay for a row.
-    fifo_last: Vec<Vec<SimTime>>,
+    /// Stored as a per-sender sorted row keyed on the receiver, so the
+    /// table costs O(channels actually used) — in localized workloads a
+    /// sender only ever talks to its border, and a run on a million-node
+    /// graph keeps rows for the handful of active senders only (a dense
+    /// n-slot row per sender would be 8 MB each at n = 10⁶). Lookups are
+    /// a hash on the sender plus a binary search on the receiver.
+    fifo_last: HashMap<NodeId, Vec<(NodeId, SimTime)>>,
     fd: FailureDetector,
     metrics: Metrics,
     trace: Trace,
@@ -155,9 +201,9 @@ pub struct Simulation<P: Process> {
 impl<P: Process> std::fmt::Debug for Simulation<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("nodes", &self.processes.len())
+            .field("nodes", &self.procs.len())
             .field("time", &self.time)
-            .field("queued", &(self.queue.len() + self.pending.len()))
+            .field("queued", &(self.queue.len() + self.pending_live))
             .field("events_processed", &self.events_processed)
             .finish()
     }
@@ -178,17 +224,74 @@ impl<P: Process> Simulation<P> {
     /// is what a model-checking run wants anyway.
     pub fn with_policy(config: SimConfig, processes: Vec<P>, policy: SchedulePolicy) -> Self {
         let n = processes.len();
+        Simulation::build(config, ProcessTable::Eager(processes), n, policy, None)
+    }
+
+    /// Creates a **lazy** simulation over the `graph.len()` nodes of
+    /// `graph`: processes are spawned by `factory` on demand, immediately
+    /// before their first event, and the failure detector resolves a
+    /// crashed node's observers from the graph
+    /// ([`FailureDetector::with_static_graph`]). Per-run setup cost and
+    /// memory are proportional to the *activated footprint*, not to `n`.
+    ///
+    /// # Equivalence contract
+    ///
+    /// A lazy run is bit-identical (trace hash, metrics, recorded
+    /// schedules) to an eager run of the same processes **provided**
+    /// every process's `on_start` does nothing but `monitor` nodes
+    /// covered by the static rule (its graph neighbours) — the cliff-edge
+    /// protocol's line 4. An `on_start` that sends messages or monitors
+    /// strangers still executes faithfully, but at first-event time
+    /// rather than time zero, which is a different (still legal) async
+    /// execution.
+    pub fn lazy(
+        config: SimConfig,
+        graph: &Arc<Graph>,
+        factory: impl FnMut(NodeId) -> P + 'static,
+    ) -> Self {
+        Simulation::lazy_with_policy(config, graph, factory, SchedulePolicy::Fifo)
+    }
+
+    /// [`lazy`](Simulation::lazy) with an exploring [`SchedulePolicy`].
+    pub fn lazy_with_policy(
+        config: SimConfig,
+        graph: &Arc<Graph>,
+        factory: impl FnMut(NodeId) -> P + 'static,
+        policy: SchedulePolicy,
+    ) -> Self {
+        let n = graph.len();
+        let table = ProcessTable::Lazy {
+            n,
+            factory: Box::new(factory),
+            active: BTreeMap::new(),
+        };
+        Simulation::build(config, table, n, policy, Some(Arc::clone(graph)))
+    }
+
+    fn build(
+        config: SimConfig,
+        procs: ProcessTable<P>,
+        n: usize,
+        policy: SchedulePolicy,
+        fd_graph: Option<Arc<Graph>>,
+    ) -> Self {
         Simulation {
             rng: StdRng::seed_from_u64(config.seed),
             trace: Trace::new(config.record_trace),
             config,
             crashed: vec![false; n],
-            processes,
+            procs,
             queue: BinaryHeap::new(),
             pending: Vec::new(),
+            pending_live: 0,
             explorer: Explorer::new(policy),
-            fifo_last: vec![Vec::new(); n],
-            fd: FailureDetector::new(),
+            seen_channels: HashSet::new(),
+            candidates: Vec::new(),
+            fifo_last: HashMap::new(),
+            fd: match fd_graph {
+                Some(g) => FailureDetector::with_static_graph(g),
+                None => FailureDetector::new(),
+            },
             metrics: Metrics::default(),
             time: SimTime::ZERO,
             seq: 0,
@@ -200,12 +303,12 @@ impl<P: Process> Simulation<P> {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.processes.len()
+        self.procs.len()
     }
 
     /// `true` if the simulation has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.processes.is_empty()
+        self.procs.len() == 0
     }
 
     /// Current virtual time.
@@ -223,7 +326,7 @@ impl<P: Process> Simulation<P> {
     ///
     /// Panics if `node` is out of range or `at` is in the past.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
-        assert!(node.index() < self.processes.len(), "no such node {node}");
+        assert!(node.index() < self.procs.len(), "no such node {node}");
         assert!(at >= self.time, "cannot schedule a crash in the past");
         self.push(at, EventKind::Crash { node });
     }
@@ -271,7 +374,7 @@ impl<P: Process> Simulation<P> {
     }
 
     fn has_pending(&self) -> bool {
-        !self.queue.is_empty() || !self.pending.is_empty()
+        !self.queue.is_empty() || self.pending_live > 0
     }
 
     /// Pops the next event: the latency-ordered head under FIFO, or the
@@ -284,25 +387,22 @@ impl<P: Process> Simulation<P> {
         let Some(explorer) = self.explorer.as_mut() else {
             return self.queue.pop();
         };
-        if self.pending.is_empty() {
+        if self.pending_live == 0 {
             return None;
         }
-        // `pending` is in push order, so the first entry seen per channel
-        // is the channel's earliest (per-channel FIFO clamping also makes
-        // it the earliest-timed, hence the global `(time, seq)` minimum
-        // is always enabled and FIFO replay is exact).
-        let mut earliest: std::collections::BTreeMap<(NodeId, NodeId), usize> =
-            std::collections::BTreeMap::new();
-        for (i, e) in self.pending.iter().enumerate() {
-            if let EventKind::Deliver { to, from, .. } = e.kind {
-                earliest.entry((from, to)).or_insert(i);
-            }
-        }
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for (i, e) in self.pending.iter().enumerate() {
+        // `pending` is in push (seq) order — tombstone compaction
+        // preserves it — so the first live entry seen per channel is the
+        // channel's earliest (per-channel FIFO clamping also makes it the
+        // earliest-timed, hence the global `(time, seq)` minimum is
+        // always enabled and FIFO replay is exact).
+        self.seen_channels.clear();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
+        for (i, slot) in self.pending.iter().enumerate() {
+            let Some(e) = slot else { continue };
             let (key, target) = match e.kind {
                 EventKind::Deliver { to, from, .. } => {
-                    if earliest[&(from, to)] != i {
+                    if !self.seen_channels.insert((from, to)) {
                         continue;
                     }
                     let key = EventKey::Deliver {
@@ -334,9 +434,17 @@ impl<P: Process> Simulation<P> {
             .enumerate()
             .min_by_key(|(_, c)| (c.at, c.seq))
             .map(|(i, _)| i)
-            .expect("pending is non-empty");
+            .expect("pending has live entries");
         let choice = explorer.choose(&candidates, fifo);
-        Some(self.pending.remove(candidates[choice].pending_idx))
+        let idx = candidates[choice].pending_idx;
+        self.candidates = candidates;
+        let entry = self.pending[idx].take().expect("candidate slot is live");
+        self.pending_live -= 1;
+        if self.pending.len() >= 32 && self.pending_live * 2 < self.pending.len() {
+            // Amortized O(1) per executed event; keeps seq order.
+            self.pending.retain(Option::is_some);
+        }
+        Some(entry)
     }
 
     /// The scheduling deviations the installed exploring policy actually
@@ -358,16 +466,57 @@ impl<P: Process> Simulation<P> {
             return;
         }
         self.started = true;
-        for i in 0..self.processes.len() {
+        if matches!(self.procs, ProcessTable::Lazy { .. }) {
+            // Lazy mode: each node's `on_start` runs at activation time
+            // (immediately before its first event) instead.
+            return;
+        }
+        for i in 0..self.procs.len() {
             let me = NodeId::from_index(i);
-            self.metrics.record_activation(me);
             let mut cmds = std::mem::take(&mut self.command_buf);
             {
                 let mut ctx = Context::new(me, self.time, &mut cmds);
-                self.processes[i].on_start(&mut ctx);
+                let ProcessTable::Eager(procs) = &mut self.procs else {
+                    unreachable!("table mode never changes");
+                };
+                procs[i].on_start(&mut ctx);
             }
             self.execute_commands(me, &mut cmds);
             self.command_buf = cmds;
+        }
+    }
+
+    /// Lazy mode: ensures `node`'s process exists, running its `on_start`
+    /// (and executing the resulting commands) if this is the activation.
+    fn activate_if_needed(&mut self, node: NodeId) {
+        let ProcessTable::Lazy {
+            factory, active, ..
+        } = &mut self.procs
+        else {
+            return;
+        };
+        if active.contains_key(&node) {
+            return;
+        }
+        let mut proc = factory(node);
+        let mut cmds = std::mem::take(&mut self.command_buf);
+        {
+            let mut ctx = Context::new(node, self.time, &mut cmds);
+            proc.on_start(&mut ctx);
+        }
+        active.insert(node, proc);
+        self.execute_commands(node, &mut cmds);
+        self.command_buf = cmds;
+    }
+
+    /// The process of `node`, which must already exist (always true in
+    /// eager mode; activation-dependent in lazy mode).
+    fn proc_mut(&mut self, node: NodeId) -> &mut P {
+        match &mut self.procs {
+            ProcessTable::Eager(v) => &mut v[node.index()],
+            ProcessTable::Lazy { active, .. } => active
+                .get_mut(&node)
+                .unwrap_or_else(|| panic!("node {node} not activated")),
         }
     }
 
@@ -391,6 +540,7 @@ impl<P: Process> Simulation<P> {
                     self.metrics.record_drop();
                     return;
                 }
+                self.activate_if_needed(to);
                 self.metrics.record_delivery(to);
                 self.metrics.record_activation(to);
                 self.trace.record(TraceEntry::Deliver {
@@ -401,7 +551,7 @@ impl<P: Process> Simulation<P> {
                 let mut cmds = std::mem::take(&mut self.command_buf);
                 {
                     let mut ctx = Context::new(to, self.time, &mut cmds);
-                    self.processes[to.index()].on_message(from, msg, &mut ctx);
+                    self.proc_mut(to).on_message(from, msg, &mut ctx);
                 }
                 self.execute_commands(to, &mut cmds);
                 self.command_buf = cmds;
@@ -410,6 +560,7 @@ impl<P: Process> Simulation<P> {
                 if self.crashed[to.index()] {
                     return;
                 }
+                self.activate_if_needed(to);
                 self.metrics.record_crash_notification();
                 self.metrics.record_activation(to);
                 self.trace.record(TraceEntry::Notify {
@@ -420,7 +571,7 @@ impl<P: Process> Simulation<P> {
                 let mut cmds = std::mem::take(&mut self.command_buf);
                 {
                     let mut ctx = Context::new(to, self.time, &mut cmds);
-                    self.processes[to.index()].on_crash_notification(crashed, &mut ctx);
+                    self.proc_mut(to).on_crash_notification(crashed, &mut ctx);
                 }
                 self.execute_commands(to, &mut cmds);
                 self.command_buf = cmds;
@@ -432,10 +583,7 @@ impl<P: Process> Simulation<P> {
         for cmd in cmds.drain(..) {
             match cmd {
                 Command::Send { to, msg } => {
-                    assert!(
-                        to.index() < self.processes.len(),
-                        "send to unknown node {to}"
-                    );
+                    assert!(to.index() < self.procs.len(), "send to unknown node {to}");
                     self.metrics.record_send(me, msg.size_bytes());
                     self.trace.record(TraceEntry::Send {
                         at: self.time,
@@ -443,13 +591,19 @@ impl<P: Process> Simulation<P> {
                         to,
                     });
                     let latency = self.config.latency.sample(&mut self.rng);
-                    let row = &mut self.fifo_last[me.index()];
-                    if row.is_empty() {
-                        row.resize(self.processes.len(), SimTime::ZERO);
-                    }
-                    let slot = &mut row[to.index()];
-                    let at = (self.time + latency).max(*slot);
-                    *slot = at;
+                    let row = self.fifo_last.entry(me).or_default();
+                    let at = match row.binary_search_by_key(&to, |&(t, _)| t) {
+                        Ok(i) => {
+                            let at = (self.time + latency).max(row[i].1);
+                            row[i].1 = at;
+                            at
+                        }
+                        Err(i) => {
+                            let at = self.time + latency;
+                            row.insert(i, (to, at));
+                            at
+                        }
+                    };
                     self.push(at, EventKind::Deliver { to, from: me, msg });
                 }
                 Command::Monitor { target } => {
@@ -479,7 +633,8 @@ impl<P: Process> Simulation<P> {
         let entry = Entry { at, seq, kind };
         if self.explorer.is_some() {
             // Push order == seq order: `pending` stays sorted by seq.
-            self.pending.push(entry);
+            self.pending.push(Some(entry));
+            self.pending_live += 1;
         } else {
             self.queue.push(entry);
         }
@@ -493,7 +648,7 @@ impl<P: Process> Simulation<P> {
 
     /// Node ids that never crashed.
     pub fn correct_nodes(&self) -> Vec<NodeId> {
-        (0..self.processes.len())
+        (0..self.procs.len())
             .filter(|&i| !self.crashed[i])
             .map(NodeId::from_index)
             .collect()
@@ -504,22 +659,43 @@ impl<P: Process> Simulation<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range, or (in lazy mode) was never
+    /// activated — see [`try_process`](Simulation::try_process).
     pub fn process(&self, node: NodeId) -> &P {
-        &self.processes[node.index()]
+        self.try_process(node)
+            .unwrap_or_else(|| panic!("node {node} not activated"))
     }
 
-    /// Iterates `(id, process)` pairs.
-    pub fn processes(&self) -> impl Iterator<Item = (NodeId, &P)> + '_ {
-        self.processes
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (NodeId::from_index(i), p))
+    /// Immutable access to a node's process, `None` if the node was never
+    /// activated (lazy mode) or is out of range.
+    pub fn try_process(&self, node: NodeId) -> Option<&P> {
+        match &self.procs {
+            ProcessTable::Eager(v) => v.get(node.index()),
+            ProcessTable::Lazy { active, .. } => active.get(&node),
+        }
     }
 
-    /// Consumes the simulation, returning the processes.
+    /// Iterates `(id, process)` pairs in ascending id order. In lazy mode
+    /// only *activated* nodes appear (everything observable — stats,
+    /// decisions — lives on activated nodes).
+    pub fn processes(&self) -> Box<dyn Iterator<Item = (NodeId, &P)> + '_> {
+        match &self.procs {
+            ProcessTable::Eager(v) => Box::new(
+                v.iter()
+                    .enumerate()
+                    .map(|(i, p)| (NodeId::from_index(i), p)),
+            ),
+            ProcessTable::Lazy { active, .. } => Box::new(active.iter().map(|(&id, p)| (id, p))),
+        }
+    }
+
+    /// Consumes the simulation, returning the processes (in lazy mode,
+    /// the activated ones, in ascending id order).
     pub fn into_processes(self) -> Vec<P> {
-        self.processes
+        match self.procs {
+            ProcessTable::Eager(v) => v,
+            ProcessTable::Lazy { active, .. } => active.into_values().collect(),
+        }
     }
 
     /// Accounting for the run so far.
@@ -625,6 +801,47 @@ mod tests {
             .map(|(t, _, _)| *t)
             .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The FIFO-clamp table is a compact per-sender map now; the clamp
+    /// semantics must survive many sparse high-id senders interleaving
+    /// traffic to shared receivers under heavy jitter (the access pattern
+    /// a dense per-sender row used to make trivially correct).
+    #[test]
+    fn fifo_clamp_holds_across_many_sparse_senders() {
+        let n = 512usize;
+        let senders = [490u32, 501, 510, 3];
+        let receivers = [NodeId(0), NodeId(511)];
+        let mut procs: Vec<Recorder> = (0..n).map(|_| Recorder::quiet()).collect();
+        for (k, &s) in senders.iter().enumerate() {
+            // Interleave the two receivers so each channel's sends are
+            // non-contiguous, forcing repeated clamp lookups per row.
+            procs[s as usize].sends_on_start = (0..20u8)
+                .map(|i| (receivers[(i as usize + k) % 2], Blob(vec![i])))
+                .collect();
+        }
+        let mut sim = Simulation::new(jittery_config(1234), procs);
+        assert!(sim.run().is_quiescent());
+        for &r in &receivers {
+            for &s in &senders {
+                let per_channel: Vec<(SimTime, u8)> = sim
+                    .process(r)
+                    .received
+                    .iter()
+                    .filter(|(_, from, _)| *from == NodeId(s))
+                    .map(|(t, _, m)| (*t, m[0]))
+                    .collect();
+                // Payloads in send order, timestamps non-decreasing.
+                assert!(
+                    per_channel.windows(2).all(|w| w[0].1 < w[1].1),
+                    "channel {s}->{r} out of order: {per_channel:?}"
+                );
+                assert!(
+                    per_channel.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "channel {s}->{r} time ran backwards: {per_channel:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -953,6 +1170,41 @@ mod tests {
         assert!(pcr.recorded_schedule().unwrap().is_empty());
     }
 
+    /// Tombstone compaction in the explorer's pending list must keep the
+    /// long-run cost linear *and* the schedule identical: a workload
+    /// large enough to trigger multiple compactions replays bit-for-bit.
+    #[test]
+    fn long_explored_run_compacts_without_changing_the_schedule() {
+        use crate::explore::SchedulePolicy;
+        let build = || {
+            // 4 senders × 64 messages: several hundred pending entries,
+            // far past the compaction threshold.
+            (0..6usize)
+                .map(|i| {
+                    let mut r = Recorder::quiet();
+                    if i < 4 {
+                        r.sends_on_start = (0..64u8)
+                            .map(|k| (NodeId(4 + (k as u32 + i as u32) % 2), Blob(vec![k])))
+                            .collect();
+                    }
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut random =
+            Simulation::with_policy(jittery_config(21), build(), SchedulePolicy::Random(555));
+        assert!(random.run().is_quiescent());
+        let sched = random.recorded_schedule().unwrap();
+        let mut replay = Simulation::with_policy(
+            jittery_config(21),
+            build(),
+            SchedulePolicy::Replay(sched.clone()),
+        );
+        assert!(replay.run().is_quiescent());
+        assert_eq!(replay.trace().hash(), random.trace().hash());
+        assert_eq!(replay.recorded_schedule().unwrap(), sched);
+    }
+
     #[test]
     fn trace_entries_recorded_when_enabled() {
         let mut sender = Recorder::quiet();
@@ -976,5 +1228,55 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    /// Lazy activation: a node is spawned (and its `on_start` run) only
+    /// when its first event arrives; bystanders are never materialized.
+    #[test]
+    fn lazy_nodes_spawn_on_first_event_only() {
+        let graph = Arc::new(precipice_graph::path(4));
+        let mut sim: Simulation<Recorder> =
+            Simulation::lazy(SimConfig::default(), &graph, move |me| {
+                let mut r = Recorder::quiet();
+                // Cliff-edge style: monitor-only on_start.
+                r.monitors_on_start = vec![NodeId(me.0.wrapping_sub(1)), NodeId(me.0 + 1)]
+                    .into_iter()
+                    .filter(|q| q.index() < 4)
+                    .collect();
+                r
+            });
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(1));
+        assert!(sim.run().is_quiescent());
+        // Border nodes 0 and 2 were activated by their notifications...
+        assert_eq!(sim.process(NodeId(0)).notified.len(), 1);
+        assert_eq!(sim.process(NodeId(2)).notified.len(), 1);
+        // ...node 3 (not bordering the crash) and the crashed node 1
+        // never spawned.
+        assert!(sim.try_process(NodeId(3)).is_none());
+        assert!(sim.try_process(NodeId(1)).is_none());
+        assert_eq!(sim.processes().count(), 2);
+        assert_eq!(sim.into_processes().len(), 2);
+    }
+
+    /// The graph-backed detector notifies a node that never ran (never
+    /// activated, never explicitly subscribed) exactly once when a
+    /// neighbour crashes — static monitoring is structural.
+    #[test]
+    fn lazy_never_activated_neighbor_still_notified_exactly_once() {
+        let graph = Arc::new(precipice_graph::path(3));
+        let mut sim: Simulation<Recorder> =
+            Simulation::lazy(SimConfig::default(), &graph, |_| Recorder::quiet());
+        // Crash the middle node twice (the second is a no-op): both
+        // neighbours get exactly one notification each, despite nobody
+        // ever calling monitor().
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(1));
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(2));
+        assert!(sim.run().is_quiescent());
+        assert_eq!(
+            sim.process(NodeId(0)).notified,
+            vec![(SimTime::from_millis(6), NodeId(1))]
+        );
+        assert_eq!(sim.process(NodeId(2)).notified.len(), 1);
+        assert_eq!(sim.metrics().crash_notifications(), 2);
     }
 }
