@@ -11,7 +11,7 @@
 
 use precipice_core::ProtocolConfig;
 use precipice_graph::NodeId;
-use precipice_runtime::{check_spec, RunReport, Scenario, Violation};
+use precipice_runtime::{check_spec, Exec, RunReport, Scenario, Violation};
 
 /// Result of an ablation run: the report plus its specification
 /// violations.
@@ -47,7 +47,7 @@ pub fn run_without_arbitration(scenario: &Scenario) -> AblationOutcome {
         arbitration: false,
         ..scenario.protocol
     };
-    let report = ablated.run();
+    let report = ablated.exec(Exec::new()).report;
     let violations = check_spec(&report);
     AblationOutcome { report, violations }
 }
@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn full_protocol_passes_where_ablation_may_not() {
         let scenario = skewed_scenario();
-        let full = scenario.run();
+        let full = scenario.exec(Exec::new()).report;
         assert!(
             check_spec(&full).is_empty(),
             "full protocol must satisfy the spec"

@@ -6,7 +6,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
 use precipice_core::ProtocolConfig;
-use precipice_runtime::Scenario;
+use precipice_runtime::{Exec, Scenario};
 use precipice_sim::SimTime;
 use precipice_workload::patterns::{schedule, CrashTiming};
 
@@ -40,7 +40,7 @@ fn bench_ablations(c: &mut Criterion) {
                     .protocol(config)
                     .sim_config(experiment_sim(3, false))
                     .build();
-                std::hint::black_box(scenario.run())
+                std::hint::black_box(scenario.exec(Exec::new()).report)
             })
         });
     }

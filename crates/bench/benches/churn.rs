@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
-use precipice_runtime::Scenario;
+use precipice_runtime::{Exec, Scenario};
 use precipice_sim::SimTime;
 use precipice_workload::patterns::{schedule, CrashTiming};
 
@@ -30,7 +30,7 @@ fn bench_cascade(c: &mut Criterion) {
                     .crashes(crashes.iter().copied())
                     .sim_config(experiment_sim(2, false))
                     .build();
-                std::hint::black_box(scenario.run())
+                std::hint::black_box(scenario.exec(Exec::new()).report)
             })
         });
     }

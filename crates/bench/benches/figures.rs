@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use precipice_runtime::Exec;
 use precipice_sim::SimTime;
 use precipice_workload::figures::{figure3_scenario, Figure1, Figure2};
 use precipice_workload::patterns::CrashTiming;
@@ -16,10 +17,16 @@ fn bench_figures(c: &mut Criterion) {
 
     let fig1 = Figure1::new();
     group.bench_function("fig1a_two_regions", |b| {
-        b.iter(|| std::hint::black_box(fig1.scenario_a(7).run()))
+        b.iter(|| std::hint::black_box(fig1.scenario_a(7).exec(Exec::new()).report))
     });
     group.bench_function("fig1b_paris_mid_agreement", |b| {
-        b.iter(|| std::hint::black_box(fig1.scenario_b(7, SimTime::from_millis(6)).run()))
+        b.iter(|| {
+            std::hint::black_box(
+                fig1.scenario_b(7, SimTime::from_millis(6))
+                    .exec(Exec::new())
+                    .report,
+            )
+        })
     });
 
     let fig2 = Figure2::new(4, 2);
@@ -27,7 +34,8 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(
                 fig2.scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1)))
-                    .run(),
+                    .exec(Exec::new())
+                    .report,
             )
         })
     });
@@ -35,7 +43,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig3_overlap_adversary_g4", |b| {
         b.iter(|| {
             let (scenario, _) = figure3_scenario(6, 4, SimTime::from_millis(4), 3);
-            std::hint::black_box(scenario.run())
+            std::hint::black_box(scenario.exec(Exec::new()).report)
         })
     });
 

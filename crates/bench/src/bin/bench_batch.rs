@@ -1,0 +1,298 @@
+//! Report binary: **serial** schedules/sec of the lockstep batch engine
+//! ([`BatchRunner`]) against per-run scalar execution ([`Scenario::exec`])
+//! on two fixed microbenches — the batch engine's headline number.
+//!
+//! - **fuzz**: a fixed scenario, fixed seed, and a budget of mixed
+//!   FIFO/random/PCR probes (the schedule explorer's workload, one
+//!   policy per probe via [`PolicyMix::Mixed`]).
+//! - **seeds**: the same scenario swept across latency seeds under FIFO
+//!   (figure 2's replication axis).
+//!
+//! Both arms run on one thread. The scalar arm executes each variant
+//! alone through the lazy engine; the batched arm feeds the whole
+//! budget through one [`BatchRunner`], reusing slot arenas and the
+//! shared graph across waves. Every probe's trace hash, digest, and
+//! recorded schedule are asserted **byte-identical** between the arms
+//! before any timing is reported — the speedup is only meaningful
+//! because the engines agree bit-for-bit (see
+//! `tests/batched_scalar_differential.rs` for the property-level
+//! version of that contract).
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_batch -- \
+//!     [--test] [--json PATH] [--budget N] [--wave K] [--only NAME] [--dump ENGINE]`
+//!
+//! - `--test`: tiny budget, identity assertions only — CI smoke mode.
+//! - `--budget N`: probe count per microbench.
+//! - `--wave K`: force one lockstep wave width for every bench
+//!   (default: per-bench tuned widths — 8 for fuzz, 2 for seeds).
+//! - `--dump scalar|batched`: instead of benchmarking, print one line
+//!   per run (seed/policy, trace hash, digest) for the fixed seed-sweep
+//!   and fuzz workload and exit. CI byte-diffs the two engines' dumps
+//!   (the `batch-identity` job).
+//!
+//! Writes `BENCH_batch.json` by default.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
+use precipice_core::ProtocolConfig;
+use precipice_runtime::{BatchJob, BatchRunner, Exec, ExecOutcome, Scenario};
+use precipice_sim::SchedulePolicy;
+use precipice_workload::explore::PolicyMix;
+use precipice_workload::patterns::{schedule, CrashTiming};
+use precipice_workload::sweep::Jobs;
+
+/// Exploration seed for the fuzz microbench's policy stream (arbitrary
+/// but fixed: the workload must not drift between report runs).
+const FUZZ_SEED: u64 = 7;
+
+/// The fixed scenario both microbenches execute: a 16×16 torus with a
+/// 64-node blob crashing simultaneously. A large region going down at
+/// once keeps a deep in-flight backlog alive for the whole run — the
+/// regime where the scalar exploring path's per-step rescan of every
+/// pending delivery dominates, and the batch engine's incremental
+/// frontier pays off hardest.
+fn bench_scenario(n: usize, k: usize) -> Scenario {
+    let graph = torus_of(n);
+    let region = carve_region(&graph, RegionShape::Blob, k);
+    Scenario::builder(graph)
+        .name("batch-microbench")
+        .crashes(schedule(
+            region.iter(),
+            CrashTiming::Simultaneous(precipice_sim::SimTime::from_millis(1)),
+        ))
+        .protocol(ProtocolConfig::default())
+        .sim_config(experiment_sim(1, false))
+        .build()
+}
+
+/// The fuzz budget: probe 0 is the FIFO baseline, then alternating
+/// random/PCR streams, all on the scenario's own seed.
+fn fuzz_jobs(scenario: &Scenario, budget: usize) -> Vec<BatchJob> {
+    (0..budget as u64)
+        .map(|index| BatchJob {
+            seed: scenario.sim.seed,
+            policy: PolicyMix::Mixed.policy_for(FUZZ_SEED, index),
+        })
+        .collect()
+}
+
+/// The seed sweep: FIFO delivery, one latency seed per run.
+fn seed_jobs(budget: usize) -> Vec<BatchJob> {
+    (0..budget as u64)
+        .map(|seed| BatchJob {
+            seed,
+            policy: SchedulePolicy::Fifo,
+        })
+        .collect()
+}
+
+/// Runs one job through the scalar lazy engine, exactly as a caller
+/// without the batch API would: clone the scenario shape, override the
+/// seed, execute alone.
+fn scalar_run(scenario: &Scenario, job: &BatchJob) -> ExecOutcome<precipice_graph::NodeId> {
+    let mut variant = scenario.clone();
+    variant.sim.seed = job.seed;
+    variant.exec(Exec::new().schedule(job.policy.clone()))
+}
+
+struct Bench {
+    name: &'static str,
+    /// Default lockstep width, tuned per workload: fuzz probes want
+    /// wider waves (more scalar rescan cost to amortize against),
+    /// FIFO seed sweeps want narrow ones (wide interleaving just
+    /// thrashes cache on a path that was already lean).
+    wave: usize,
+    jobs: Vec<BatchJob>,
+}
+
+struct BatchRow {
+    name: &'static str,
+    runs: usize,
+    wave: usize,
+    scalar_ms: f64,
+    batched_ms: f64,
+}
+
+impl BatchRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_ms / self.batched_ms
+    }
+    fn scalar_per_s(&self) -> f64 {
+        self.runs as f64 / (self.scalar_ms / 1000.0)
+    }
+    fn batched_per_s(&self) -> f64 {
+        self.runs as f64 / (self.batched_ms / 1000.0)
+    }
+}
+
+/// Times both arms over `jobs` and asserts per-probe bit-identity.
+fn measure(name: &'static str, scenario: &Scenario, jobs: &[BatchJob], wave: usize) -> BatchRow {
+    let scalar_started = Instant::now();
+    let scalar: Vec<_> = jobs.iter().map(|job| scalar_run(scenario, job)).collect();
+    let scalar_ms = scalar_started.elapsed().as_secs_f64() * 1000.0;
+
+    let batched_started = Instant::now();
+    let mut runner = BatchRunner::with_default_policy(scenario, wave);
+    let batched = runner.run(jobs);
+    let batched_ms = batched_started.elapsed().as_secs_f64() * 1000.0;
+
+    assert_eq!(scalar.len(), batched.len());
+    for (i, (a, b)) in scalar.iter().zip(&batched).enumerate() {
+        assert!(
+            a.report.trace_hash == b.report.trace_hash
+                && a.report.digest() == b.report.digest()
+                && a.schedule == b.schedule,
+            "{name}: probe {i} (seed {}, {}) diverged between scalar and batched \
+             engines — the batch bit-identity contract is broken",
+            jobs[i].seed,
+            jobs[i].policy.tag(),
+        );
+    }
+
+    BatchRow {
+        name,
+        runs: jobs.len(),
+        wave,
+        scalar_ms,
+        batched_ms,
+    }
+}
+
+/// `--dump`: print one line per run of the fixed workload through the
+/// chosen engine. Two invocations (scalar, batched) must produce
+/// byte-identical output; CI diffs them.
+fn dump(engine: &str, scenario: &Scenario, budget: usize, wave: usize) -> ! {
+    let mut jobs = seed_jobs(budget);
+    jobs.extend(fuzz_jobs(scenario, budget));
+    let outcomes: Vec<ExecOutcome<precipice_graph::NodeId>> = match engine {
+        "scalar" => jobs.iter().map(|job| scalar_run(scenario, job)).collect(),
+        "batched" => BatchRunner::with_default_policy(scenario, wave).run(&jobs),
+        other => {
+            eprintln!("--dump: unknown engine {other:?} (want scalar | batched)");
+            std::process::exit(2);
+        }
+    };
+    for (job, out) in jobs.iter().zip(&outcomes) {
+        println!(
+            "seed={} policy={} hash={:016x} deviations={} digest={:?}",
+            job.seed,
+            job.policy.tag(),
+            out.report.trace_hash,
+            out.schedule.len(),
+            out.report.digest(),
+        );
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            match args.get(i + 1) {
+                // The next token being another flag means the value was
+                // forgotten — fail loudly rather than treat "--wave" as
+                // a file name.
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        })
+    };
+    let test_mode = has("--test");
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_batch.json".to_owned());
+    let wave_override: Option<usize> =
+        value_of("--wave").map(|v| v.parse().expect("--wave wants a positive integer"));
+    let budget: usize = value_of("--budget")
+        .map(|v| v.parse().expect("--budget wants a positive integer"))
+        .unwrap_or(if test_mode { 48 } else { 512 });
+    let n: usize = value_of("--n")
+        .map(|v| v.parse().expect("--n wants a positive integer"))
+        .unwrap_or(256);
+    let k: usize = value_of("--region")
+        .map(|v| v.parse().expect("--region wants a positive integer"))
+        .unwrap_or(64);
+
+    let scenario = bench_scenario(n, k);
+    if let Some(engine) = value_of("--dump") {
+        dump(
+            &engine,
+            &scenario,
+            budget.min(24),
+            wave_override.unwrap_or(8),
+        );
+    }
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "bench", "runs", "wave", "scalar (ms)", "batch (ms)", "scalar/s", "batch/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for bench in [
+        Bench {
+            name: "fuzz",
+            wave: 8,
+            jobs: fuzz_jobs(&scenario, budget),
+        },
+        Bench {
+            name: "seeds",
+            wave: 2,
+            jobs: seed_jobs(budget),
+        },
+    ] {
+        if let Some(pick) = value_of("--only") {
+            if pick != bench.name {
+                continue;
+            }
+        }
+        let wave = wave_override.unwrap_or(bench.wave);
+        let row = measure(bench.name, &scenario, &bench.jobs, wave);
+        println!(
+            "{:<8} {:>6} {:>6} {:>12.1} {:>12.1} {:>12.0} {:>12.0} {:>8.2}x",
+            row.name,
+            row.runs,
+            row.wave,
+            row.scalar_ms,
+            row.batched_ms,
+            row.scalar_per_s(),
+            row.batched_per_s(),
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-batch/1\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", Jobs::available().get());
+    let _ = writeln!(json, "  \"test_mode\": {test_mode},");
+    let _ = writeln!(json, "  \"nodes\": {n},");
+    let _ = writeln!(json, "  \"region\": {k},");
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"runs\": {}, \"wave\": {}, \"scalar_ms\": {:.1}, \
+             \"batched_ms\": {:.1}, \
+             \"scalar_per_s\": {:.0}, \"batched_per_s\": {:.0}, \"speedup\": {:.2}, \
+             \"identical\": true}}",
+            r.name,
+            r.runs,
+            r.wave,
+            r.scalar_ms,
+            r.batched_ms,
+            r.scalar_per_s(),
+            r.batched_per_s(),
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

@@ -7,7 +7,7 @@
 //! For each torus size the binary measures the one-time graph build, the
 //! *eager* per-run cost (all N `CliffEdgeNode`s constructed, every
 //! `on_start` executed, O(N) stats collection — the pre-PR-5 path, kept
-//! as [`Scenario::run_eager`]) and the *lazy* per-run cost
+//! as `Engine::Eager`) and the *lazy* per-run cost
 //! ([`Scenario::run`]: spawn-on-demand processes, graph-backed failure
 //! detection). Both arms execute bit-identical schedules (asserted via
 //! trace hashes), so the ratio is pure setup/teardown overhead. The
@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use precipice_bench::{carve_region, experiment_sim, experiments, torus_of, RegionShape};
 use precipice_core::ProtocolConfig;
-use precipice_runtime::Scenario;
+use precipice_runtime::{Engine, Exec, Scenario};
 use precipice_workload::patterns::schedule;
 use precipice_workload::sweep::Jobs;
 
@@ -81,7 +81,7 @@ fn mega_smoke(cap_seconds: f64) -> ! {
     let graph_mb = graph.memory_bytes() as f64 / (1 << 20) as f64;
     let scenario = scenario_for(graph, 1);
     let run_started = Instant::now();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     let run_s = run_started.elapsed().as_secs_f64();
     let total = started.elapsed().as_secs_f64();
     println!(
@@ -156,13 +156,13 @@ fn main() {
         for &seed in &seeds {
             let scenario = scenario_for(graph.clone(), seed);
             let lazy_started = Instant::now();
-            let lazy = scenario.run();
+            let lazy = scenario.exec(Exec::new()).report;
             lazy_ms.push(lazy_started.elapsed().as_secs_f64() * 1000.0);
             active_per_seed.push(lazy.metrics.nodes_with_traffic().len());
             messages_per_seed.push(lazy.metrics.messages_sent());
             if graph.len() <= eager_cap {
                 let eager_started = Instant::now();
-                let eager = scenario.run_eager();
+                let eager = scenario.exec(Exec::new().engine(Engine::Eager)).report;
                 eager_ms.push(eager_started.elapsed().as_secs_f64() * 1000.0);
                 assert_eq!(
                     eager.trace_hash, lazy.trace_hash,

@@ -16,12 +16,12 @@ use std::time::Instant;
 use precipice_core::ProtocolConfig;
 use precipice_graph::{NodeId, Region};
 use precipice_net::LiveCluster;
-use precipice_runtime::Scenario;
+use precipice_runtime::{Exec, Scenario};
 use precipice_sim::SimTime;
 use precipice_workload::figures::{figure3_scenario, Figure1, Figure2};
 use precipice_workload::patterns::CrashTiming;
 use precipice_workload::stats::summarize;
-use precipice_workload::sweep::{self, Jobs};
+use precipice_workload::sweep::{Jobs, SweepSpec};
 use precipice_workload::table::{fmt_num, Table};
 
 use crate::{
@@ -45,8 +45,8 @@ pub fn e1_figure1(jobs: Jobs) -> Vec<Table> {
         ],
     );
     let seeds: Vec<u64> = (0..8).collect();
-    for row in sweep::run(jobs, &seeds, |_, &seed| {
-        let report = fig.scenario_a(seed).run();
+    for row in SweepSpec::new(jobs).map(&seeds, |_, &seed| {
+        let report = fig.scenario_a(seed).exec(Exec::new()).report;
         let digest = report.digest();
         let regions: Vec<String> = digest
             .decided_regions
@@ -81,8 +81,11 @@ pub fn e1_figure1(jobs: Jobs) -> Vec<Table> {
         .iter()
         .flat_map(|&d| (0..runs).map(move |s| (d, s)))
         .collect();
-    let outcomes = sweep::run(jobs, &cases, |_, &(delay_ms, seed)| {
-        let report = fig.scenario_b(seed, SimTime::from_millis(delay_ms)).run();
+    let outcomes = SweepSpec::new(jobs).map(&cases, |_, &(delay_ms, seed)| {
+        let report = fig
+            .scenario_b(seed, SimTime::from_millis(delay_ms))
+            .exec(Exec::new())
+            .report;
         let digest = report.digest();
         let west = if digest.decided_regions.contains(&fig.f3) {
             WestOutcome::F3
@@ -151,11 +154,12 @@ pub fn e2_figure2(jobs: Jobs) -> Vec<Table> {
         .into_iter()
         .flat_map(|k| [1usize, 2].into_iter().map(move |size| (k, size)))
         .collect();
-    for row in sweep::run(jobs, &cases, |_, &(k, size)| {
+    for row in SweepSpec::new(jobs).map(&cases, |_, &(k, size)| {
         let fig = Figure2::new(k, size);
         let report = fig
             .scenario(17, CrashTiming::Simultaneous(SimTime::from_millis(1)))
-            .run();
+            .exec(Exec::new())
+            .report;
         let digest = report.digest();
         let decided_domains = fig
             .domains
@@ -200,9 +204,9 @@ pub fn e3_figure3(jobs: Jobs) -> Vec<Table> {
         .iter()
         .flat_map(|&(g, d)| (0..runs).map(move |s| (g, d, s)))
         .collect();
-    let results = sweep::run(jobs, &cases, |_, &(growth, delay_ms, seed)| {
+    let results = SweepSpec::new(jobs).map(&cases, |_, &(growth, delay_ms, seed)| {
         let (scenario, _full) = figure3_scenario(6, growth, SimTime::from_millis(delay_ms), seed);
-        let digest = scenario.run().digest();
+        let digest = scenario.exec(Exec::new()).report.digest();
         let sizes: Vec<f64> = digest
             .decided_regions
             .iter()
@@ -301,7 +305,7 @@ pub fn e4_locality_scaling(jobs: Jobs) -> Vec<Table> {
             .map(|p| (p, SimTime::from_millis(1)))
             .collect()
     };
-    let outs = sweep::run(jobs, &specs, |_, &spec| match spec {
+    let outs = SweepSpec::new(jobs).map(&specs, |_, &spec| match spec {
         E4Job::Cliff { n, seed } => {
             let (cost, _) = measure_cliff_edge(
                 graphs[&n].clone(),
@@ -413,7 +417,7 @@ pub fn e5_region_scaling(jobs: Jobs) -> Vec<Table> {
         .iter()
         .flat_map(|&(shape, k)| seeds.iter().map(move |&s| (shape, k, s)))
         .collect();
-    let costs = sweep::run(jobs, &cases, |_, &(shape, k, seed)| {
+    let costs = SweepSpec::new(jobs).map(&cases, |_, &(shape, k, seed)| {
         let region = carve_region(&graph, shape, k);
         let (cost, _) = measure_cliff_edge(
             graph.clone(),
@@ -471,7 +475,7 @@ pub fn e6_churn_convergence(jobs: Jobs) -> Vec<Table> {
         .iter()
         .flat_map(|&(g, d)| seeds.iter().map(move |&s| (g, d, s)))
         .collect();
-    let digests = sweep::run(jobs, &cases, |_, &(growth, delay_ms, seed)| {
+    let digests = SweepSpec::new(jobs).map(&cases, |_, &(growth, delay_ms, seed)| {
         let region = carve_region(&graph, RegionShape::Line, growth + 1);
         let scenario = Scenario::builder(graph.clone())
             .crashes(precipice_workload::patterns::schedule(
@@ -483,7 +487,7 @@ pub fn e6_churn_convergence(jobs: Jobs) -> Vec<Table> {
             ))
             .sim_config(experiment_sim(seed, true))
             .build();
-        scenario.run().digest()
+        scenario.exec(Exec::new()).report.digest()
     });
     for (ci, &(growth, delay_ms)) in combos.iter().enumerate() {
         let chunk = &digests[ci * seeds.len()..(ci + 1) * seeds.len()];
@@ -553,7 +557,7 @@ pub fn e7_ablations(jobs: Jobs) -> Vec<Table> {
     let cases: Vec<(usize, u64)> = (0..configs.len())
         .flat_map(|ci| seeds.iter().map(move |&s| (ci, s)))
         .collect();
-    let digests = sweep::run(jobs, &cases, |_, &(ci, seed)| {
+    let digests = SweepSpec::new(jobs).map(&cases, |_, &(ci, seed)| {
         let scenario = Scenario::builder(graph.clone())
             .crashes(precipice_workload::patterns::schedule(
                 region.iter(),
@@ -562,7 +566,7 @@ pub fn e7_ablations(jobs: Jobs) -> Vec<Table> {
             .protocol(configs[ci].1)
             .sim_config(experiment_sim(seed, true))
             .build();
-        scenario.run().digest()
+        scenario.exec(Exec::new()).report.digest()
     });
     for (ci, (label, _)) in configs.iter().enumerate() {
         let chunk = &digests[ci * seeds.len()..(ci + 1) * seeds.len()];
@@ -600,7 +604,7 @@ pub fn e7_ablations(jobs: Jobs) -> Vec<Table> {
         .iter()
         .flat_map(|&d| (0..runs).map(move |s| (d, s)))
         .collect();
-    let outcomes = sweep::run(jobs, &noarb_cases, |_, &(delay_ms, seed)| {
+    let outcomes = SweepSpec::new(jobs).map(&noarb_cases, |_, &(delay_ms, seed)| {
         let region = carve_region(&graph, RegionShape::Line, 4);
         let scenario = Scenario::builder(graph.clone())
             .crashes(precipice_workload::patterns::schedule(
@@ -676,14 +680,14 @@ pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
             vec![NodeId(14)],
         ),
     ];
-    let results = sweep::run(jobs, &cases, |_, (_, graph, kills)| {
+    let results = SweepSpec::new(jobs).map(&cases, |_, (_, graph, kills)| {
         // Simulator run.
         let sim_started = Instant::now();
         let scenario = Scenario::builder(graph.clone())
             .crashes(kills.iter().map(|&k| (k, SimTime::from_millis(1))))
             .sim_config(experiment_sim(5, false))
             .build();
-        let sim_report = scenario.run();
+        let sim_report = scenario.exec(Exec::new()).report;
         let sim_wall = sim_started.elapsed().as_secs_f64() * 1000.0;
         let sim_messages = sim_report.metrics.messages_sent();
         let sim_decisions: BTreeMap<NodeId, (Region, NodeId)> = sim_report

@@ -10,7 +10,7 @@ pub mod experiments;
 
 use precipice_core::ProtocolConfig;
 use precipice_graph::{torus, Graph, GridDims, NodeId, Region};
-use precipice_runtime::{RunReport, Scenario};
+use precipice_runtime::{Exec, RunReport, Scenario};
 use precipice_sim::{LatencyModel, SimConfig, SimTime};
 use precipice_workload::patterns::{blob_of_size, line_region, schedule, CrashTiming};
 pub use precipice_workload::sweep::Jobs;
@@ -124,7 +124,7 @@ pub fn measure_cliff_edge(
         .protocol(protocol)
         .sim_config(experiment_sim(seed, false))
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     let cost = RunCost {
         n,
         region: region.len(),
@@ -195,7 +195,7 @@ pub fn pinned_figure_scenarios() -> Vec<(&'static str, Scenario)> {
 /// Runs `scenario` with tracing forced on and returns its trace hash.
 pub fn trace_hash_of(mut scenario: Scenario) -> u64 {
     scenario.sim.record_trace = true;
-    scenario.run().trace_hash
+    scenario.exec(Exec::new()).report.trace_hash
 }
 
 #[cfg(test)]

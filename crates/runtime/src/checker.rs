@@ -284,7 +284,7 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Scenario;
+    use crate::{Exec, Scenario};
     use precipice_core::View;
     use precipice_graph::{path, NodeId};
     use precipice_sim::SimTime;
@@ -293,7 +293,8 @@ mod tests {
         Scenario::builder(path(3))
             .crash(NodeId(1), SimTime::from_millis(1))
             .build()
-            .run()
+            .exec(Exec::new())
+            .report
     }
 
     #[test]
@@ -334,7 +335,8 @@ mod tests {
                 .crash(NodeId(1), SimTime::from_millis(1))
                 .crash(NodeId(2), SimTime::from_millis(2))
                 .build()
-                .run()
+                .exec(Exec::new())
+                .report
         };
         // n0 and n3 decided {1,2}. Forge n2 (faulty, crashed at 2ms)
         // deciding the subsumed view {1} just before its own crash:
@@ -411,7 +413,8 @@ mod tests {
             .crash(NodeId(1), SimTime::from_millis(1))
             .crash(NodeId(2), SimTime::from_millis(1))
             .build()
-            .run();
+            .exec(Exec::new())
+            .report;
         // n0 and n3 decided {1,2}. Replace n3's view with {2,3}: overlap.
         let forged_region: Region = [NodeId(2), NodeId(3)].into_iter().collect();
         let forged = View::new(report.graph.as_ref(), forged_region);
@@ -457,7 +460,8 @@ mod tests {
         let mut big = Scenario::builder(path(6))
             .crash(NodeId(1), SimTime::from_millis(1))
             .build()
-            .run();
+            .exec(Exec::new())
+            .report;
         assert!(check_spec(&big).is_empty(), "clean before forgery");
         big.message_pairs
             .as_mut()

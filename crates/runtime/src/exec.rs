@@ -1,0 +1,191 @@
+//! The unified scenario execution API: [`Exec`] options in,
+//! [`ExecOutcome`] out.
+//!
+//! Historically [`Scenario`](crate::Scenario) grew six `run*` variants
+//! (`run`, `run_scheduled`, `run_with_policy`,
+//! `run_scheduled_with_policy`, `run_eager_scheduled_with_policy`,
+//! `run_eager`) — a 2×3 matrix of decision-policy × engine choices with
+//! inconsistent return shapes (`Option<Schedule>` here,
+//! `unwrap_or_default()` there). [`Scenario::exec`](crate::Scenario::exec)
+//! collapses the matrix: one entry point taking an [`Exec`] options
+//! value (decision-policy factory, [`SchedulePolicy`], [`Engine`]) and
+//! always returning the recorded schedule. The old names survive as
+//! thin `#[deprecated]` forwarders with their historical signatures.
+//!
+//! # Engine equivalence contract
+//!
+//! All three engines produce **bit-identical** observables for the same
+//! scenario and options — same [`RunReport`] (trace hash, metrics,
+//! decisions, stats) and same recorded [`Schedule`]:
+//!
+//! - [`Engine::Lazy`] (default): footprint-proportional scalar run;
+//!   processes spawn immediately before their first event.
+//! - [`Engine::Eager`]: the executable reference; all `n` processes are
+//!   built up front and `on_start` runs at time zero. Equivalent for
+//!   protocols whose `on_start` only monitors graph neighbours (the
+//!   cliff-edge protocol's line 4) — see `tests/lazy_eager_differential.rs`.
+//! - [`Engine::Batched`]: the lockstep multi-run engine
+//!   ([`precipice_sim::batch`]); one `exec` call runs a single-variant
+//!   wave, while sweep drivers ([`crate::BatchRunner`]) reuse its slot
+//!   arenas across thousands of runs. Equivalence is enforced by the
+//!   `batched ≡ scalar` differential tests and the CI byte-diff job.
+//!
+//! # Deprecation path
+//!
+//! The `run*` forwarders are kept for one release cycle so downstream
+//! code migrates mechanically:
+//!
+//! | old call | replacement |
+//! |---|---|
+//! | `s.run()` | `s.exec(Exec::new()).report` |
+//! | `s.run_scheduled(p)` | `s.exec(Exec::new().schedule(p))` |
+//! | `s.run_with_policy(f)` | `s.exec(Exec::new().decide_with(f)).report` |
+//! | `s.run_scheduled_with_policy(f, p)` | `s.exec(Exec::new().decide_with(f).schedule(p))` |
+//! | `s.run_eager_scheduled_with_policy(f, p)` | `s.exec(Exec::new().decide_with(f).schedule(p).engine(Engine::Eager))` |
+//! | `s.run_eager()` | `s.exec(Exec::new().engine(Engine::Eager)).report` |
+//!
+//! The only semantic delta: `exec` returns the schedule
+//! unconditionally ([`Schedule::fifo`] when nothing deviated) instead
+//! of `Option<Schedule>`.
+
+use precipice_core::{DecisionPolicy, NodeIdValuePolicy};
+use precipice_graph::NodeId;
+use precipice_sim::{Schedule, SchedulePolicy};
+
+use crate::report::RunReport;
+
+/// Which execution engine [`Scenario::exec`](crate::Scenario::exec)
+/// drives. All engines are observably equivalent (see the
+/// [module docs](self)); they differ in cost profile only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Footprint-proportional scalar execution (the default): processes
+    /// spawn lazily at their first event.
+    Lazy,
+    /// The eager reference: all `n` processes built up front, `on_start`
+    /// at time zero.
+    Eager,
+    /// The lockstep batch engine with waves of `k` run slots. For a
+    /// single `exec` this is a one-variant wave (useful to pin the
+    /// equivalence contract); budgeted drivers go through
+    /// [`BatchRunner`](crate::BatchRunner) to amortize slot arenas
+    /// across the whole budget.
+    Batched {
+        /// Run slots per lockstep wave.
+        k: usize,
+    },
+}
+
+/// Builder-style options for [`Scenario::exec`](crate::Scenario::exec):
+/// a decision-policy factory, a [`SchedulePolicy`], and an [`Engine`].
+///
+/// `Exec::new()` is the classic run: [`NodeIdValuePolicy`] decisions,
+/// FIFO scheduling, lazy engine.
+///
+/// ```
+/// use precipice_graph::{path, NodeId};
+/// use precipice_runtime::{Exec, Scenario};
+/// use precipice_sim::{SchedulePolicy, SimTime};
+///
+/// let scenario = Scenario::builder(path(3))
+///     .crash(NodeId(1), SimTime::from_millis(1))
+///     .build();
+/// let classic = scenario.exec(Exec::new());
+/// let fuzzed = scenario.exec(Exec::new().schedule(SchedulePolicy::Random(7)));
+/// assert!(classic.schedule.is_empty(), "FIFO records no deviations");
+/// assert_eq!(classic.report.decisions.len(), 2);
+/// assert!(fuzzed.report.outcome.is_quiescent());
+/// ```
+pub struct Exec<P = NodeIdValuePolicy, F = fn(NodeId) -> NodeIdValuePolicy> {
+    pub(crate) make_policy: F,
+    pub(crate) schedule: SchedulePolicy,
+    pub(crate) engine: Engine,
+    pub(crate) _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl Exec {
+    /// The classic run: [`NodeIdValuePolicy`] decisions (border
+    /// coordinator election), FIFO scheduling, lazy engine.
+    pub fn new() -> Self {
+        Exec {
+            make_policy: |_me| NodeIdValuePolicy,
+            schedule: SchedulePolicy::Fifo,
+            engine: Engine::Lazy,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec::new()
+    }
+}
+
+impl<P, F> Exec<P, F>
+where
+    P: DecisionPolicy,
+    F: FnMut(NodeId) -> P,
+{
+    /// Replaces the decision-policy factory: `make_policy(node)` builds
+    /// the policy each node decides with (called lazily, at the node's
+    /// activation).
+    pub fn decide_with<P2, F2>(self, make_policy: F2) -> Exec<P2, F2>
+    where
+        P2: DecisionPolicy,
+        F2: FnMut(NodeId) -> P2,
+    {
+        Exec {
+            make_policy,
+            schedule: self.schedule,
+            engine: self.engine,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the event-scheduling policy (FIFO, random/PCR fuzzing, or
+    /// schedule replay).
+    pub fn schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+impl<P, F> std::fmt::Debug for Exec<P, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Exec")
+            .field("schedule", &self.schedule)
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+/// What an execution produced: the full [`RunReport`] plus the recorded
+/// [`Schedule`] — **always** present ([`Schedule::fifo`] when the run
+/// never deviated from latency order), unlike the historical
+/// `Option<Schedule>` returns.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome<V> {
+    /// Decisions, metrics, stats, trace fingerprint.
+    pub report: RunReport<V>,
+    /// The scheduling deviations actually taken (replayable; empty for
+    /// a pure-FIFO execution).
+    pub schedule: Schedule,
+}
+
+impl<V> ExecOutcome<V> {
+    /// Splits into the historical `(report, Option<Schedule>)` shape:
+    /// `Some` iff the run used an exploring policy (the deprecated
+    /// forwarders' contract, where FIFO returns `None` even though its
+    /// recorded schedule would be empty anyway).
+    pub(crate) fn into_legacy(self, policy_was_fifo: bool) -> (RunReport<V>, Option<Schedule>) {
+        let schedule = (!policy_was_fifo).then_some(self.schedule);
+        (self.report, schedule)
+    }
+}

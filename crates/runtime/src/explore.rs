@@ -25,7 +25,7 @@ use std::fmt::Write as _;
 use precipice_graph::NodeId;
 use precipice_sim::{Deviation, Schedule, SchedulePolicy};
 
-use crate::{check_spec, RunReport, Scenario, Violation};
+use crate::{check_spec, Exec, RunReport, Scenario, Violation};
 
 /// One explored schedule: the run it produced, the replayable schedule
 /// trace, and the specification verdict.
@@ -41,7 +41,8 @@ pub struct ScheduleProbe {
 
 /// Runs `scenario` under `policy` and checks the specification.
 pub fn probe(scenario: &Scenario, policy: SchedulePolicy) -> ScheduleProbe {
-    let (report, schedule) = scenario.run_scheduled(policy);
+    let out = scenario.exec(Exec::new().schedule(policy));
+    let (report, schedule) = (out.report, out.schedule);
     let violations = check_spec(&report);
     ScheduleProbe {
         report,

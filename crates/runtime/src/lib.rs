@@ -7,6 +7,10 @@
 //! - [`Scenario`] seals a complete experiment description (topology,
 //!   crash schedule, latency models, protocol configuration, seed), so a
 //!   run is reproducible from the scenario value alone.
+//! - [`Scenario::exec`] executes it under [`Exec`] options (decision
+//!   policy × scheduling policy × [`Engine`]); [`BatchRunner`] drives
+//!   whole seed sweeps and fuzz budgets through the lockstep batch
+//!   engine with identical per-run results.
 //! - [`RunReport`] collects decisions, metrics and per-node statistics.
 //! - [`check_spec`] verifies every CD property against a report and
 //!   returns the violations (an empty list on a correct run). This turns
@@ -17,7 +21,7 @@
 //!
 //! ```
 //! use precipice_graph::{grid, GridDims, NodeId};
-//! use precipice_runtime::{check_spec, Scenario};
+//! use precipice_runtime::{check_spec, Exec, Scenario};
 //! use precipice_sim::SimTime;
 //!
 //! let scenario = Scenario::builder(grid(GridDims::square(4)))
@@ -25,7 +29,7 @@
 //!     .crash(NodeId(6), SimTime::from_millis(2))
 //!     .seed(42)
 //!     .build();
-//! let report = scenario.run();
+//! let report = scenario.exec(Exec::new()).report;
 //! assert!(check_spec(&report).is_empty(), "all CD properties hold");
 //! // Both crashed nodes form one region; its border must agree on it.
 //! assert!(!report.decisions.is_empty());
@@ -35,16 +39,20 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod adapter;
+mod batch;
 mod checker;
 mod domains;
+pub mod exec;
 pub mod explore;
 mod predicate;
 mod report;
 mod scenario;
 
 pub use adapter::{MulticastMode, ProtoMsg, ProtocolProcess};
+pub use batch::{BatchJob, BatchRunner};
 pub use checker::{check_spec, Violation};
 pub use domains::{faulty_clusters, faulty_domains};
+pub use exec::{Engine, Exec, ExecOutcome};
 pub use explore::{
     probe, render_violations, shrink_schedule, Artifact, Counterexample, ScheduleProbe,
 };

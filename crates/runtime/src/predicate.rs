@@ -37,7 +37,7 @@ use std::fmt::Debug;
 use precipice_graph::{Graph, NodeId};
 use precipice_sim::SimTime;
 
-use crate::{RunReport, Scenario, ScenarioBuilder};
+use crate::{Exec, RunReport, Scenario, ScenarioBuilder};
 
 /// A sealed predicate-region experiment: which nodes become *afflicted*
 /// (start satisfying the stable predicate) and when.
@@ -85,7 +85,7 @@ impl PredicateScenario {
 
     /// Runs the scenario; decided views are *condition regions*.
     pub fn run(&self) -> RunReport<NodeId> {
-        self.inner.run()
+        self.inner.exec(Exec::new()).report
     }
 }
 
@@ -158,7 +158,10 @@ mod tests {
             .crash(NodeId(5), SimTime::from_millis(2))
             .seed(9)
             .build();
-        assert_eq!(p.run().trace_hash, equivalent.run().trace_hash);
+        assert_eq!(
+            p.run().trace_hash,
+            equivalent.exec(Exec::new()).report.trace_hash
+        );
         assert_eq!(p.as_scenario().crashes, equivalent.crashes);
     }
 }

@@ -1,27 +1,35 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use precipice_core::{CliffEdgeNode, DecisionPolicy, NodeIdValuePolicy, ProtocolConfig};
+use precipice_core::{CliffEdgeNode, DecisionPolicy, ProtocolConfig};
 use precipice_graph::{Graph, NodeId};
-use precipice_sim::{Schedule, SchedulePolicy, SimConfig, SimTime, Simulation, TraceEntry};
+use precipice_sim::{
+    Metrics, RunOutcome, Schedule, SchedulePolicy, SimConfig, SimTime, Simulation, Trace,
+    TraceEntry,
+};
 
 use crate::adapter::{MulticastMode, ProtocolProcess};
+use crate::batch::{BatchJob, BatchRunner};
+use crate::exec::{Engine, Exec, ExecOutcome};
 use crate::report::{Decision, RunReport};
 
 /// A sealed, reproducible experiment description: topology, crash
 /// schedule, network/latency configuration and protocol configuration.
 ///
-/// Build with [`Scenario::builder`]; execute with [`Scenario::run`] (or
-/// [`run_with_policy`](Scenario::run_with_policy) for a custom decision
-/// policy). Two runs of an identical scenario produce bit-identical
-/// reports (same trace hash).
+/// Build with [`Scenario::builder`]; execute with [`Scenario::exec`],
+/// which takes an [`Exec`] options value (decision policy × scheduling
+/// policy × engine) and always returns the report together with the
+/// recorded schedule. Two runs of an identical scenario produce
+/// bit-identical reports (same trace hash) — on *any* engine (see the
+/// [`exec`](crate::exec) module docs for the equivalence contract).
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Human-readable label (used by experiment tables).
     pub name: String,
     /// The knowledge graph.
     pub graph: Arc<Graph>,
-    /// Crash schedule: `(node, time)` pairs.
+    /// Crash schedule: `(node, time)` pairs. [`ScenarioBuilder::build`]
+    /// guarantees at most one entry per node.
     pub crashes: Vec<(NodeId, SimTime)>,
     /// Simulator configuration (latencies, seed, tracing).
     pub sim: SimConfig,
@@ -38,58 +46,51 @@ impl Scenario {
         ScenarioBuilder::new(graph)
     }
 
-    /// Runs the scenario with the default [`NodeIdValuePolicy`]
-    /// (border-coordinator election).
-    pub fn run(&self) -> RunReport<NodeId> {
-        self.run_with_policy(|_me| NodeIdValuePolicy)
-    }
-
-    /// Runs the scenario under an exploring [`SchedulePolicy`] (with the
-    /// default decision policy) and returns the report together with the
-    /// replayable schedule trace the scheduler recorded — the primitive
-    /// under [`explore`](crate::explore)'s model-checking harness.
-    pub fn run_scheduled(&self, schedule: SchedulePolicy) -> (RunReport<NodeId>, Schedule) {
-        let (report, schedule) = self.run_scheduled_with_policy(|_me| NodeIdValuePolicy, schedule);
-        (report, schedule.unwrap_or_default())
-    }
-
-    /// Runs the scenario, constructing each node's decision policy with
-    /// `make_policy`.
-    pub fn run_with_policy<P, F>(&self, make_policy: F) -> RunReport<P::Value>
+    /// Executes the scenario under the given [`Exec`] options and
+    /// returns the report plus the recorded schedule.
+    ///
+    /// All engines are observably equivalent; the default
+    /// ([`Engine::Lazy`]) gives footprint-proportional execution: nodes
+    /// are spawned **lazily** ([`Simulation::lazy_with_policy`]), with
+    /// `make_policy` and the node constructor running on demand
+    /// immediately before a node's first event, and the failure
+    /// detector resolving crash observers straight from the graph (the
+    /// paper's §3.1 `monitorCrash(border(p))`, resolved at crash time).
+    /// Per-run setup cost and memory are therefore proportional to the
+    /// crashed region's footprint, not to `n` — the
+    /// implementation-level form of the paper's headline locality
+    /// claim. Stats and decisions are collected from activated nodes
+    /// only; non-activated nodes have default stats and no decision, so
+    /// every derived table is unchanged.
+    pub fn exec<P, F>(&self, options: Exec<P, F>) -> ExecOutcome<P::Value>
     where
         P: DecisionPolicy,
         F: FnMut(NodeId) -> P + 'static,
     {
-        self.run_scheduled_with_policy(make_policy, SchedulePolicy::Fifo)
-            .0
+        let Exec {
+            make_policy,
+            schedule,
+            engine,
+            ..
+        } = options;
+        match engine {
+            Engine::Lazy => self.exec_lazy(make_policy, schedule),
+            Engine::Eager => self.exec_eager(make_policy, schedule),
+            Engine::Batched { k } => {
+                let mut runner = BatchRunner::new(self, k, make_policy);
+                runner
+                    .run(&[BatchJob {
+                        seed: self.sim.seed,
+                        policy: schedule,
+                    }])
+                    .pop()
+                    .expect("one job in, one outcome out")
+            }
+        }
     }
 
-    /// The general runner: decision policy × scheduling policy. The
-    /// second return value is the recorded schedule trace (`None` under
-    /// [`SchedulePolicy::Fifo`], which records nothing).
-    ///
-    /// # Footprint-proportional execution
-    ///
-    /// Nodes are spawned **lazily** ([`Simulation::lazy_with_policy`]):
-    /// `make_policy` and the node constructor run on demand, immediately
-    /// before a node's first event, and the failure detector resolves
-    /// crash observers straight from the graph (the paper's §3.1
-    /// `monitorCrash(border(p))`, resolved at crash time). Per-run setup
-    /// cost and memory are therefore proportional to the crashed
-    /// region's footprint, not to `n` — the implementation-level form of
-    /// the paper's headline locality claim. The execution is
-    /// bit-identical to the eager reference
-    /// ([`run_eager_scheduled_with_policy`](Scenario::run_eager_scheduled_with_policy)):
-    /// same trace hash, metrics, decisions, and recorded schedule —
-    /// differentially tested in `tests/lazy_eager_differential.rs`.
-    /// Stats and decisions are collected from activated nodes only;
-    /// non-activated nodes have default stats and no decision, so every
-    /// derived table is unchanged.
-    pub fn run_scheduled_with_policy<P, F>(
-        &self,
-        make_policy: F,
-        schedule: SchedulePolicy,
-    ) -> (RunReport<P::Value>, Option<Schedule>)
+    /// The lazy (footprint-proportional) engine.
+    fn exec_lazy<P, F>(&self, make_policy: F, schedule: SchedulePolicy) -> ExecOutcome<P::Value>
     where
         P: DecisionPolicy,
         F: FnMut(NodeId) -> P + 'static,
@@ -112,17 +113,16 @@ impl Scenario {
         self.collect(sim, outcome)
     }
 
-    /// The **eager reference runner**: pre-builds all `n` processes and
+    /// The **eager reference engine**: pre-builds all `n` processes and
     /// runs their `on_start` at time zero, exactly as the simulator
     /// always did before lazy activation. Kept as the executable
-    /// specification the lazy path is differentially tested against, and
-    /// as the "before" arm of the `bench_locality` report. Output is
-    /// bit-identical to [`run_scheduled_with_policy`](Self::run_scheduled_with_policy).
-    pub fn run_eager_scheduled_with_policy<P, F>(
+    /// specification the other engines are differentially tested
+    /// against, and as the "before" arm of the `bench_locality` report.
+    fn exec_eager<P, F>(
         &self,
         mut make_policy: F,
         schedule: SchedulePolicy,
-    ) -> (RunReport<P::Value>, Option<Schedule>)
+    ) -> ExecOutcome<P::Value>
     where
         P: DecisionPolicy,
         F: FnMut(NodeId) -> P,
@@ -145,73 +145,164 @@ impl Scenario {
         self.collect(sim, outcome)
     }
 
-    /// Eager reference run with the default policy and FIFO scheduling.
-    pub fn run_eager(&self) -> RunReport<NodeId> {
-        self.run_eager_scheduled_with_policy(|_me| NodeIdValuePolicy, SchedulePolicy::Fifo)
-            .0
-    }
-
-    /// Assembles the report from a finished simulation (shared by the
-    /// lazy and eager runners; under lazy execution `sim.processes()`
-    /// yields activated nodes only, which carry everything observable).
+    /// Assembles the outcome from a finished scalar simulation (under
+    /// lazy execution `sim.processes()` yields activated nodes only,
+    /// which carry everything observable).
     fn collect<P: DecisionPolicy>(
         &self,
         sim: Simulation<ProtocolProcess<P>>,
-        outcome: precipice_sim::RunOutcome,
-    ) -> (RunReport<P::Value>, Option<Schedule>) {
-        let crashed: BTreeMap<NodeId, SimTime> = self
-            .crashes
-            .iter()
-            .map(|&(n, t)| (n, t))
-            // Keep the earliest time if a node is scheduled twice.
-            .fold(BTreeMap::new(), |mut m, (n, t)| {
-                m.entry(n).and_modify(|e| *e = (*e).min(t)).or_insert(t);
-                m
-            });
-
-        let mut decisions = BTreeMap::new();
-        let mut stats = BTreeMap::new();
-        for (id, proc) in sim.processes() {
-            // Zeroed stats carry no information and would make the map
-            // O(n); skipping them keeps lazy and eager reports
-            // byte-identical (a never-activated node trivially has
-            // default stats) and every aggregate (sums, maxes) unchanged.
-            if *proc.node().stats() != Default::default() {
-                stats.insert(id, *proc.node().stats());
-            }
-            if let Some((view, value, at)) = proc.decision() {
-                decisions.insert(
-                    id,
-                    Decision {
-                        view: view.clone(),
-                        value: value.clone(),
-                        at: *at,
-                    },
-                );
-            }
-        }
-
-        let message_pairs = sim.trace().entries().map(|entries| {
-            entries
-                .iter()
-                .filter_map(|e| match *e {
-                    TraceEntry::Send { from, to, .. } => Some((from, to)),
-                    _ => None,
-                })
-                .collect()
-        });
-
-        let report = RunReport {
-            graph: Arc::clone(&self.graph),
-            crashed,
-            decisions,
-            metrics: sim.metrics().clone(),
-            stats,
-            message_pairs,
-            trace_hash: sim.trace().hash(),
+        outcome: RunOutcome,
+    ) -> ExecOutcome<P::Value> {
+        let schedule = sim.recorded_schedule().unwrap_or_default();
+        let report = assemble(
+            self,
+            sim.processes(),
+            sim.metrics().clone(),
+            sim.trace(),
             outcome,
-        };
-        (report, sim.recorded_schedule())
+        );
+        ExecOutcome { report, schedule }
+    }
+
+    /// Runs the scenario with the default [`NodeIdValuePolicy`]
+    /// (border-coordinator election).
+    #[deprecated(note = "use `exec(Exec::new())` and read `.report`")]
+    pub fn run(&self) -> RunReport<NodeId> {
+        self.exec(Exec::new()).report
+    }
+
+    /// Runs the scenario under an exploring [`SchedulePolicy`] (with the
+    /// default decision policy) and returns the report together with the
+    /// replayable schedule trace the scheduler recorded.
+    #[deprecated(note = "use `exec(Exec::new().schedule(policy))`")]
+    pub fn run_scheduled(&self, schedule: SchedulePolicy) -> (RunReport<NodeId>, Schedule) {
+        let out = self.exec(Exec::new().schedule(schedule));
+        (out.report, out.schedule)
+    }
+
+    /// Runs the scenario, constructing each node's decision policy with
+    /// `make_policy`.
+    #[deprecated(note = "use `exec(Exec::new().decide_with(make_policy))` and read `.report`")]
+    pub fn run_with_policy<P, F>(&self, make_policy: F) -> RunReport<P::Value>
+    where
+        P: DecisionPolicy,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        self.exec(Exec::new().decide_with(make_policy)).report
+    }
+
+    /// Runs with decision policy × scheduling policy on the lazy
+    /// engine. The second return value is `Some` iff an exploring
+    /// policy was used ([`SchedulePolicy::Fifo`] records nothing).
+    #[deprecated(
+        note = "use `exec(Exec::new().decide_with(make_policy).schedule(policy))`; \
+                         `ExecOutcome::schedule` is always present"
+    )]
+    pub fn run_scheduled_with_policy<P, F>(
+        &self,
+        make_policy: F,
+        schedule: SchedulePolicy,
+    ) -> (RunReport<P::Value>, Option<Schedule>)
+    where
+        P: DecisionPolicy,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        let fifo = matches!(schedule, SchedulePolicy::Fifo);
+        self.exec(Exec::new().decide_with(make_policy).schedule(schedule))
+            .into_legacy(fifo)
+    }
+
+    /// Eager-engine variant of
+    /// [`run_scheduled_with_policy`](Self::run_scheduled_with_policy).
+    #[deprecated(
+        note = "use `exec(Exec::new().decide_with(make_policy).schedule(policy)\
+                         .engine(Engine::Eager))`"
+    )]
+    pub fn run_eager_scheduled_with_policy<P, F>(
+        &self,
+        make_policy: F,
+        schedule: SchedulePolicy,
+    ) -> (RunReport<P::Value>, Option<Schedule>)
+    where
+        P: DecisionPolicy,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        let fifo = matches!(schedule, SchedulePolicy::Fifo);
+        self.exec(
+            Exec::new()
+                .decide_with(make_policy)
+                .schedule(schedule)
+                .engine(Engine::Eager),
+        )
+        .into_legacy(fifo)
+    }
+
+    /// Eager reference run with the default policy and FIFO scheduling.
+    #[deprecated(note = "use `exec(Exec::new().engine(Engine::Eager))` and read `.report`")]
+    pub fn run_eager(&self) -> RunReport<NodeId> {
+        self.exec(Exec::new().engine(Engine::Eager)).report
+    }
+}
+
+/// Assembles a [`RunReport`] from a finished run's observables —
+/// shared by every engine (the scalar runners hand over the live
+/// simulation's views; the batch runner hands over each
+/// [`BatchRun`](precipice_sim::BatchRun)'s materialized state), which
+/// is what makes "same inputs ⇒ same report" hold *across* engines and
+/// not just within one.
+pub(crate) fn assemble<'a, P>(
+    scenario: &Scenario,
+    procs: impl Iterator<Item = (NodeId, &'a ProtocolProcess<P>)>,
+    metrics: Metrics,
+    trace: &Trace,
+    outcome: RunOutcome,
+) -> RunReport<P::Value>
+where
+    P: DecisionPolicy + 'a,
+{
+    let crashed: BTreeMap<NodeId, SimTime> = scenario.crashes.iter().copied().collect();
+
+    let mut decisions = BTreeMap::new();
+    let mut stats = BTreeMap::new();
+    for (id, proc) in procs {
+        // Zeroed stats carry no information and would make the map
+        // O(n); skipping them keeps lazy and eager reports
+        // byte-identical (a never-activated node trivially has
+        // default stats) and every aggregate (sums, maxes) unchanged.
+        if *proc.node().stats() != Default::default() {
+            stats.insert(id, *proc.node().stats());
+        }
+        if let Some((view, value, at)) = proc.decision() {
+            decisions.insert(
+                id,
+                Decision {
+                    view: view.clone(),
+                    value: value.clone(),
+                    at: *at,
+                },
+            );
+        }
+    }
+
+    let message_pairs = trace.entries().map(|entries| {
+        entries
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEntry::Send { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect()
+    });
+
+    RunReport {
+        graph: Arc::clone(&scenario.graph),
+        crashed,
+        decisions,
+        metrics,
+        stats,
+        message_pairs,
+        trace_hash: trace.hash(),
+        outcome,
     }
 }
 
@@ -293,11 +384,30 @@ impl ScenarioBuilder {
     }
 
     /// Finalizes the scenario.
+    ///
+    /// Duplicate crash entries for the same node are folded here to a
+    /// single entry at the **earliest** scheduled time, keeping
+    /// first-occurrence order. The simulator and the report historically
+    /// disagreed on duplicates (the event queue kept both crash events
+    /// while `RunReport::crashed` folded to the earliest); deduplicating
+    /// at the seal point makes every consumer — event queue, failure
+    /// detector, reports, batch variants — see the same schedule.
     pub fn build(self) -> Scenario {
+        let mut crashes: Vec<(NodeId, SimTime)> = Vec::with_capacity(self.crashes.len());
+        let mut index: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (node, at) in self.crashes {
+            match index.get(&node) {
+                Some(&i) => crashes[i].1 = crashes[i].1.min(at),
+                None => {
+                    index.insert(node, crashes.len());
+                    crashes.push((node, at));
+                }
+            }
+        }
         Scenario {
             name: self.name,
             graph: self.graph,
-            crashes: self.crashes,
+            crashes,
             sim: self.sim,
             protocol: self.protocol,
             multicast: self.multicast,
@@ -308,6 +418,7 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use precipice_core::NodeIdValuePolicy;
     use precipice_graph::path;
 
     #[test]
@@ -316,7 +427,7 @@ mod tests {
             .name("path3")
             .crash(NodeId(1), SimTime::from_millis(1))
             .build();
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         assert!(report.outcome.is_quiescent());
         assert_eq!(report.decisions.len(), 2);
         let d0 = &report.decisions[&NodeId(0)];
@@ -346,14 +457,14 @@ mod tests {
                 .seed(7)
                 .build()
         };
-        let r1 = build().run();
-        let r2 = build().run();
+        let r1 = build().exec(Exec::new()).report;
+        let r2 = build().exec(Exec::new()).report;
         assert_eq!(r1.trace_hash, r2.trace_hash);
         assert_eq!(r1.metrics.messages_sent(), r2.metrics.messages_sent());
         let r3 = {
             let mut s = build();
             s.sim.seed = 8;
-            s.run()
+            s.exec(Exec::new()).report
         };
         assert_ne!(r1.trace_hash, r3.trace_hash);
     }
@@ -364,7 +475,7 @@ mod tests {
             .crash(NodeId(1), SimTime::from_millis(1))
             .crash(NodeId(2), SimTime::from_millis(2))
             .build();
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         assert!(report.is_faulty(NodeId(1)));
         assert!(!report.is_faulty(NodeId(0)));
         assert_eq!(report.correct_nodes().count(), 2);
@@ -378,5 +489,83 @@ mod tests {
     #[should_panic(expected = "not in graph")]
     fn crash_target_must_exist() {
         let _ = Scenario::builder(path(2)).crash(NodeId(9), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duplicate_crashes_fold_to_earliest_at_build_time() {
+        let once = Scenario::builder(path(4))
+            .crash(NodeId(2), SimTime::from_millis(2))
+            .crash(NodeId(1), SimTime::from_millis(7))
+            .build();
+        let twice = Scenario::builder(path(4))
+            .crash(NodeId(2), SimTime::from_millis(5))
+            .crash(NodeId(1), SimTime::from_millis(7))
+            .crash(NodeId(2), SimTime::from_millis(2))
+            .crash(NodeId(2), SimTime::from_millis(9))
+            .build();
+        // First-occurrence order, earliest time per node.
+        assert_eq!(twice.crashes, once.crashes);
+        // And the runs agree on every observable.
+        let a = once.exec(Exec::new());
+        let b = twice.exec(Exec::new());
+        assert_eq!(a.report.trace_hash, b.report.trace_hash);
+        assert_eq!(a.report.crashed, b.report.crashed);
+        assert_eq!(a.report.metrics, b.report.metrics);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_match_exec() {
+        let scenario = Scenario::builder(precipice_graph::ring(6))
+            .crash(NodeId(1), SimTime::from_millis(1))
+            .crash(NodeId(2), SimTime::from_millis(3))
+            .build();
+        let via_exec = scenario.exec(Exec::new());
+        assert_eq!(scenario.run().trace_hash, via_exec.report.trace_hash);
+        assert_eq!(scenario.run_eager().trace_hash, via_exec.report.trace_hash);
+
+        let policy = SchedulePolicy::Random(11);
+        let fuzzed = scenario.exec(Exec::new().schedule(policy.clone()));
+        let (report, schedule) = scenario.run_scheduled(policy.clone());
+        assert_eq!(report.trace_hash, fuzzed.report.trace_hash);
+        assert_eq!(schedule, fuzzed.schedule);
+
+        // The legacy Option<Schedule> contract: None iff FIFO.
+        let (_, none) =
+            scenario.run_scheduled_with_policy(|_me| NodeIdValuePolicy, SchedulePolicy::Fifo);
+        assert!(none.is_none());
+        let (_, some) = scenario.run_scheduled_with_policy(|_me| NodeIdValuePolicy, policy.clone());
+        assert_eq!(some, Some(fuzzed.schedule.clone()));
+        let (eager, eager_sched) =
+            scenario.run_eager_scheduled_with_policy(|_me| NodeIdValuePolicy, policy);
+        assert_eq!(eager.trace_hash, fuzzed.report.trace_hash);
+        assert_eq!(eager_sched, Some(fuzzed.schedule));
+    }
+
+    #[test]
+    fn batched_engine_matches_lazy_engine() {
+        let scenario = Scenario::builder(precipice_graph::ring(8))
+            .crash(NodeId(2), SimTime::from_millis(1))
+            .crash(NodeId(3), SimTime::from_millis(4))
+            .seed(7)
+            .build();
+        for policy in [
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Random(5),
+            SchedulePolicy::Pcr(9),
+        ] {
+            let lazy = scenario.exec(Exec::new().schedule(policy.clone()));
+            let batched = scenario.exec(
+                Exec::new()
+                    .schedule(policy)
+                    .engine(Engine::Batched { k: 4 }),
+            );
+            assert_eq!(lazy.report.trace_hash, batched.report.trace_hash);
+            assert_eq!(lazy.report.metrics, batched.report.metrics);
+            assert_eq!(lazy.report.decisions, batched.report.decisions);
+            assert_eq!(lazy.report.stats, batched.report.stats);
+            assert_eq!(lazy.report.message_pairs, batched.report.message_pairs);
+            assert_eq!(lazy.schedule, batched.schedule);
+        }
     }
 }

@@ -1,0 +1,203 @@
+//! Differential tests: the lockstep batch engine ([`Engine::Batched`],
+//! [`BatchRunner`]) must be **byte-identical** to the scalar lazy
+//! engine on every observable — trace hash, metrics, decisions,
+//! per-node stats, message pairs, digest, and the recorded schedule —
+//! across seeds × topologies × [`SchedulePolicy`]s, and regardless of
+//! how runs are grouped into waves.
+//!
+//! This is the bit-identity half of the batch engine's contract (the
+//! other half, the ≥5× serial speedup, is `bench_batch`'s job): a
+//! seed sweep or fuzz budget executed through reusable lockstep slots
+//! must be indistinguishable, result for result, from running each
+//! variant alone. Mirrors `lazy_eager_differential.rs`, which pins the
+//! lazy engine itself to the eager reference.
+
+use proptest::prelude::*;
+
+use precipice_graph::{random_geometric_connected, ring, torus, Graph, GridDims, NodeId};
+use precipice_runtime::{BatchJob, BatchRunner, Engine, Exec, Scenario};
+use precipice_sim::{SchedulePolicy, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+enum Topo {
+    Torus,
+    Ring,
+    Geometric,
+}
+
+/// A connected blob of `k` nodes grown breadth-first from `seed_node`
+/// (the workload crate's `blob_of_size`, inlined — runtime sits below
+/// workload in the dependency order).
+fn blob_of_size(graph: &Graph, seed_node: NodeId, k: usize) -> Vec<NodeId> {
+    let mut blob = vec![seed_node];
+    let mut cursor = 0;
+    while blob.len() < k && cursor < blob.len() {
+        let p = blob[cursor];
+        cursor += 1;
+        for &q in graph.neighbors(p) {
+            if blob.len() >= k {
+                break;
+            }
+            if !blob.contains(&q) {
+                blob.push(q);
+            }
+        }
+    }
+    blob.sort_unstable();
+    blob
+}
+
+fn build_graph(topo: Topo, n: usize) -> Graph {
+    match topo {
+        Topo::Torus => {
+            let side = (n as f64).sqrt().ceil().max(3.0) as usize;
+            torus(GridDims::square(side))
+        }
+        Topo::Ring => ring(n.max(4)),
+        Topo::Geometric => random_geometric_connected(n.max(8), 0.35, 42),
+    }
+}
+
+fn build_scenario(topo: Topo, n: usize, k: usize, gap_ms: u64, seed: u64) -> Scenario {
+    let graph = build_graph(topo, n);
+    let center = NodeId((graph.len() / 2) as u32);
+    let region = blob_of_size(&graph, center, k.min(graph.len() / 3).max(1));
+    let crashes: Vec<(NodeId, SimTime)> = region
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, SimTime::from_millis(1 + gap_ms * i as u64)))
+        .collect();
+    Scenario::builder(graph)
+        .name("batched-vs-scalar")
+        .crashes(crashes)
+        .seed(seed)
+        .sim_config(precipice_sim::SimConfig {
+            seed,
+            latency: precipice_sim::LatencyModel::Uniform {
+                min: SimTime::from_micros(200),
+                max: SimTime::from_millis(2),
+            },
+            fd_latency: precipice_sim::LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(5),
+            },
+            record_trace: true,
+            max_events: Some(5_000_000),
+        })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// One variant through `Engine::Batched` ≡ the same variant through
+    /// `Engine::Lazy`, for every policy kind.
+    #[test]
+    fn batched_runs_are_byte_identical_to_scalar(
+        topo in prop_oneof![Just(Topo::Torus), Just(Topo::Ring), Just(Topo::Geometric)],
+        n in 9usize..64,
+        k in 1usize..6,
+        gap_ms in prop_oneof![Just(0u64), Just(2u64), Just(30u64)],
+        seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+        policy_kind in 0usize..3,
+        wave in 1usize..5,
+    ) {
+        let policy = match policy_kind {
+            0 => SchedulePolicy::Fifo,
+            1 => SchedulePolicy::Random(policy_seed),
+            _ => SchedulePolicy::Pcr(policy_seed),
+        };
+        let scenario = build_scenario(topo, n, k, gap_ms, seed);
+        let scalar = scenario.exec(Exec::new().schedule(policy.clone()));
+        let batched = scenario.exec(
+            Exec::new().schedule(policy).engine(Engine::Batched { k: wave }),
+        );
+
+        prop_assert_eq!(
+            scalar.report.trace_hash, batched.report.trace_hash,
+            "trace diverged"
+        );
+        prop_assert_eq!(&scalar.report.decisions, &batched.report.decisions);
+        prop_assert_eq!(&scalar.report.metrics, &batched.report.metrics);
+        prop_assert_eq!(&scalar.report.stats, &batched.report.stats);
+        prop_assert_eq!(&scalar.report.message_pairs, &batched.report.message_pairs);
+        prop_assert_eq!(scalar.report.outcome, batched.report.outcome);
+        prop_assert_eq!(&scalar.schedule, &batched.schedule, "recorded schedules diverged");
+        prop_assert_eq!(scalar.report.digest(), batched.report.digest());
+    }
+
+    /// A whole seed sweep through one reused `BatchRunner` — lockstep
+    /// waves, slot arenas reused across waves — matches per-seed scalar
+    /// execution result for result. Sweeps *across* seeds is exactly
+    /// the case the single-variant test above cannot cover: slots must
+    /// not leak any state between the runs they host.
+    #[test]
+    fn seed_sweeps_through_reused_slots_match_scalar(
+        topo in prop_oneof![Just(Topo::Torus), Just(Topo::Ring)],
+        n in 9usize..49,
+        k in 1usize..5,
+        base_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+        wave in 1usize..5,
+    ) {
+        let scenario = build_scenario(topo, n, k, 2, base_seed);
+        // Mixed job kinds in one budget: seed sweep under FIFO plus a
+        // fuzz probe pair, like the explorer's feed.
+        let jobs: Vec<BatchJob> = (0..6)
+            .map(|i| BatchJob {
+                seed: base_seed.wrapping_add(i),
+                policy: match i % 3 {
+                    0 => SchedulePolicy::Fifo,
+                    1 => SchedulePolicy::Random(policy_seed ^ i),
+                    _ => SchedulePolicy::Pcr(policy_seed ^ i),
+                },
+            })
+            .collect();
+        let mut runner = BatchRunner::with_default_policy(&scenario, wave);
+        let outcomes = runner.run(&jobs);
+        prop_assert_eq!(outcomes.len(), jobs.len());
+        for (job, got) in jobs.iter().zip(&outcomes) {
+            let mut variant = scenario.clone();
+            variant.sim.seed = job.seed;
+            let want = variant.exec(Exec::new().schedule(job.policy.clone()));
+            prop_assert_eq!(
+                got.report.trace_hash, want.report.trace_hash,
+                "seed {} diverged", job.seed
+            );
+            prop_assert_eq!(&got.report.decisions, &want.report.decisions);
+            prop_assert_eq!(&got.report.metrics, &want.report.metrics);
+            prop_assert_eq!(&got.report.stats, &want.report.stats);
+            prop_assert_eq!(&got.schedule, &want.schedule);
+        }
+    }
+
+    /// Schedules recorded by the batch engine replay bit-for-bit on the
+    /// scalar engine and vice versa — recorded schedules are
+    /// engine-independent.
+    #[test]
+    fn recorded_schedules_replay_across_engines(
+        n in 9usize..36,
+        k in 1usize..4,
+        seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let scenario = build_scenario(Topo::Torus, n, k, 2, seed);
+        let batched = scenario.exec(
+            Exec::new()
+                .schedule(SchedulePolicy::Random(policy_seed))
+                .engine(Engine::Batched { k: 2 }),
+        );
+        let scalar_replay = scenario.exec(
+            Exec::new().schedule(SchedulePolicy::Replay(batched.schedule.clone())),
+        );
+        prop_assert_eq!(batched.report.trace_hash, scalar_replay.report.trace_hash);
+        let batched_replay = scenario.exec(
+            Exec::new()
+                .schedule(SchedulePolicy::Replay(batched.schedule.clone()))
+                .engine(Engine::Batched { k: 1 }),
+        );
+        prop_assert_eq!(batched.report.trace_hash, batched_replay.report.trace_hash);
+        prop_assert_eq!(batched_replay.schedule, batched.schedule);
+    }
+}

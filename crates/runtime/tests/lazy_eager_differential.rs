@@ -1,7 +1,7 @@
-//! Differential tests: the lazy, footprint-proportional runner
-//! ([`Scenario::run_scheduled_with_policy`] — spawn-on-demand processes,
-//! graph-backed failure detection) must be **byte-identical** to the
-//! eager reference ([`Scenario::run_eager_scheduled_with_policy`] — all
+//! Differential tests: the lazy, footprint-proportional engine
+//! ([`Engine::Lazy`] — spawn-on-demand processes, graph-backed failure
+//! detection) must be **byte-identical** to the eager reference
+//! ([`Engine::Eager`] — all
 //! `n` processes pre-built, `on_start` at time zero) on every
 //! observable: trace hash, metrics, decisions, per-node stats, digest,
 //! and the recorded schedule, across seeds × topologies ×
@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 
 use precipice_graph::{random_geometric_connected, ring, torus, Graph, GridDims, NodeId};
-use precipice_runtime::Scenario;
+use precipice_runtime::{Engine, Exec, Scenario};
 use precipice_sim::{SchedulePolicy, SimTime};
 
 #[derive(Debug, Clone, Copy)]
@@ -106,14 +106,10 @@ proptest! {
             _ => SchedulePolicy::Pcr(policy_seed),
         };
         let scenario = build_scenario(topo, n, k, gap_ms, seed);
-        let (lazy, lazy_sched) = scenario.run_scheduled_with_policy(
-            |_me| precipice_core::NodeIdValuePolicy,
-            policy.clone(),
-        );
-        let (eager, eager_sched) = scenario.run_eager_scheduled_with_policy(
-            |_me| precipice_core::NodeIdValuePolicy,
-            policy,
-        );
+        let lazy_out = scenario.exec(Exec::new().schedule(policy.clone()));
+        let eager_out = scenario.exec(Exec::new().schedule(policy).engine(Engine::Eager));
+        let (lazy, lazy_sched) = (lazy_out.report, lazy_out.schedule);
+        let (eager, eager_sched) = (eager_out.report, eager_out.schedule);
 
         prop_assert_eq!(lazy.trace_hash, eager.trace_hash, "trace diverged");
         prop_assert_eq!(&lazy.decisions, &eager.decisions);
@@ -136,16 +132,18 @@ proptest! {
         policy_seed in any::<u64>(),
     ) {
         let scenario = build_scenario(Topo::Torus, n, k, 2, seed);
-        let (lazy, sched) = scenario.run_scheduled(SchedulePolicy::Random(policy_seed));
-        let (eager_replay, _) = scenario.run_eager_scheduled_with_policy(
-            |_me| precipice_core::NodeIdValuePolicy,
-            SchedulePolicy::Replay(sched.clone()),
+        let out = scenario.exec(Exec::new().schedule(SchedulePolicy::Random(policy_seed)));
+        let (lazy, sched) = (out.report, out.schedule);
+        let eager_replay = scenario.exec(
+            Exec::new()
+                .schedule(SchedulePolicy::Replay(sched.clone()))
+                .engine(Engine::Eager),
         );
-        prop_assert_eq!(lazy.trace_hash, eager_replay.trace_hash);
-        let (lazy_replay, resched) =
-            scenario.run_scheduled(SchedulePolicy::Replay(sched.clone()));
-        prop_assert_eq!(lazy.trace_hash, lazy_replay.trace_hash);
-        prop_assert_eq!(resched, sched);
+        prop_assert_eq!(lazy.trace_hash, eager_replay.report.trace_hash);
+        let replay_out =
+            scenario.exec(Exec::new().schedule(SchedulePolicy::Replay(sched.clone())));
+        prop_assert_eq!(lazy.trace_hash, replay_out.report.trace_hash);
+        prop_assert_eq!(replay_out.schedule, sched);
     }
 }
 
@@ -159,7 +157,7 @@ fn never_activated_border_node_gets_exactly_one_notification() {
         .name("fd-static")
         .crash(NodeId(6), SimTime::from_millis(1))
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     assert!(report.outcome.is_quiescent());
     for border in [NodeId(5), NodeId(7)] {
         let stats = report.stats[&border];

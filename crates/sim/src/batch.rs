@@ -1,0 +1,1049 @@
+//! Lockstep multi-run batch engine: executes K scenario variants (seed
+//! sweeps, schedule-fuzz budgets) against one shared [`Graph`] topology,
+//! bit-identical per run to the scalar [`Simulation`](crate::Simulation)
+//! but several times faster per schedule.
+//!
+//! Every evaluation table and `check` budget in this repro is thousands
+//! of near-identical small runs, so the per-run constant factors — not
+//! any single run's asymptotics — bound how wide the tables can get.
+//! The scalar simulator pays them in full for every run: fresh
+//! allocations for queues, maps and traces; SipHash-ed `HashMap`/
+//! `HashSet` lookups and `BTreeMap` metric entries on *every* event; and
+//! an O(live) rescan of the pending list per scheduling decision under
+//! an exploring policy. The batch engine restructures all of that
+//! around run *slots* that survive from one run to the next:
+//!
+//! - **Arena reuse.** Each slot owns a [`RunState`] plus flat side
+//!   tables (event slab, node slots, channel slots) that are cleared,
+//!   never freed, between runs. After warm-up, a run allocates only
+//!   what the protocol itself allocates.
+//! - **Slab + 12-byte heap keys.** Events live in a slab (the
+//!   `RunState` pending vector with a free list); the FIFO hot path
+//!   orders `(time, seq, idx)` keys, never moving message payloads
+//!   through sift operations.
+//! - **Incremental enabled frontier.** Under an exploring policy the
+//!   enabled set (per-channel FIFO heads plus all crash/notify events)
+//!   is maintained incrementally in a seq-ordered map and per-channel
+//!   intrusive lists, replacing the scalar per-step O(live) rescan.
+//! - **Open-addressed node/channel tables.** Per-event bookkeeping
+//!   (crash flags, per-node counters, FIFO clamp rows, channel delivery
+//!   counts) hits small Fibonacci-hashed `u64 -> u32` maps and dense
+//!   vectors instead of SipHash maps and B-trees; per-node [`Metrics`]
+//!   are materialized once at run finish.
+//!
+//! # Equivalence contract
+//!
+//! For every variant, the produced [`RunOutcome`], [`Metrics`],
+//! [`Trace`] (hash *and* entries), recorded [`Schedule`] and final
+//! process states are **bit-identical** to a lazy scalar run
+//! ([`Simulation::lazy_with_policy`](crate::Simulation::lazy_with_policy))
+//! of the same `(config, policy, crashes)` triple: the engine replays
+//! the scalar semantics exactly — same candidate enumeration order,
+//! same RNG draw order, same FIFO clamping, same lazy activation
+//! points — it only changes the data structures underneath. The
+//! `batched ≡ scalar` differential tests (here and in the runtime
+//! crate) enforce this per commit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::mem;
+use std::sync::Arc;
+
+use precipice_graph::{Graph, NodeId};
+
+use crate::explore::{EventKey, Explorer, FrontierEntry, Schedule, SchedulePolicy};
+use crate::process::{Command, Context, Process};
+use crate::sim::{Entry, EventKind, RunState, SimConfig};
+use crate::trace::TraceEntry;
+use crate::{FailureDetector, MessageSize, Metrics, NodeMetrics, RunOutcome, SimTime, Trace};
+
+/// Sentinel for "no slab index" in intrusive channel lists.
+const NONE: u32 = u32::MAX;
+
+/// Events each live run advances per lockstep round. Small enough that
+/// the K runs march through comparable phases together (keeping the
+/// shared topology and slot tables hot), large enough that the
+/// round-robin bookkeeping is noise.
+const STRIDE: u32 = 64;
+
+/// One scenario variant to execute in a batch: the simulator config
+/// (seed, latencies, trace recording, event cap), the scheduling
+/// policy, and the crash schedule.
+#[derive(Debug, Clone)]
+pub struct BatchVariant {
+    /// Simulator configuration for this run.
+    pub config: SimConfig,
+    /// Event-scheduling policy for this run.
+    pub policy: SchedulePolicy,
+    /// Crash schedule, in scheduling order.
+    pub crashes: Vec<(NodeId, SimTime)>,
+}
+
+/// Everything a scalar run exposes, collected for one batched run.
+pub struct BatchRun<P> {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Aggregate and per-node accounting, identical to the scalar run's.
+    pub metrics: Metrics,
+    /// The run's trace (hash always; entries iff `record_trace`).
+    pub trace: Trace,
+    /// Recorded scheduling deviations; `None` under [`SchedulePolicy::Fifo`].
+    pub schedule: Option<Schedule>,
+    /// Activated processes in ascending node order (lazy-activation
+    /// footprint, exactly the scalar `processes()` iteration).
+    pub processes: Vec<(NodeId, P)>,
+}
+
+impl<P> std::fmt::Debug for BatchRun<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRun")
+            .field("outcome", &self.outcome)
+            .field("trace_hash", &self.trace.hash())
+            .field("processes", &self.processes.len())
+            .finish()
+    }
+}
+
+/// Open-addressed `u64 -> u32` map with Fibonacci hashing and linear
+/// probing: the per-event node/channel lookups are the hottest
+/// operations in a run, and a SipHash-ed `HashMap` spends more time
+/// hashing the 8-byte key than probing. Insert-only between clears
+/// (values are stable slot indices), so there are no tombstones.
+struct MiniMap {
+    slots: Vec<(u64, u32)>,
+    len: usize,
+}
+
+/// Empty-slot marker; never a valid key (node keys fit in 32 bits and
+/// channel keys pack two 32-bit ids).
+const EMPTY: u64 = u64::MAX;
+
+impl MiniMap {
+    fn new() -> Self {
+        MiniMap {
+            slots: vec![(EMPTY, 0); 16],
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill((EMPTY, 0));
+        self.len = 0;
+    }
+
+    #[inline]
+    fn bucket(key: u64, mask: usize) -> usize {
+        // Fibonacci hashing: multiply by 2^64/φ, keep high bits.
+        ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize) & mask
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::bucket(key, mask);
+        loop {
+            let (k, v) = self.slots[i];
+            if k == key {
+                return Some(v);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a key known to be absent.
+    fn insert(&mut self, key: u64, value: u32) {
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::bucket(key, mask);
+        while self.slots[i].0 != EMPTY {
+            debug_assert_ne!(self.slots[i].0, key, "duplicate MiniMap insert");
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (key, value);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = mem::replace(&mut self.slots, vec![(EMPTY, 0); doubled]);
+        let mask = self.slots.len() - 1;
+        for (k, v) in old {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = Self::bucket(k, mask);
+            while self.slots[i].0 != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (k, v);
+        }
+    }
+}
+
+/// FIFO-ordering key into the event slab; what the batch heap sifts
+/// instead of whole entries (message payloads stay put in the slab).
+#[derive(PartialEq, Eq)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    // Reversed: BinaryHeap is a max-heap, we need the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Per-directed-channel state: the FIFO clamp (scalar `fifo_last` row
+/// entry), the executed-delivery count (scalar
+/// `Explorer::channel_count`), and the pending-delivery FIFO as an
+/// intrusive list through the slab (scalar per-step channel-head scan).
+struct Channel {
+    last_at: SimTime,
+    delivered: u32,
+    head: u32,
+    tail: u32,
+}
+
+/// Per-touched-node state: dense replacement for the scalar `crashed`
+/// bit-vector, lazy-activation map and per-node metric entries.
+struct NodeSlot<P> {
+    id: NodeId,
+    proc: Option<P>,
+    crashed: bool,
+    stats: NodeMetrics,
+}
+
+/// Aggregate counters, folded into a [`Metrics`] at run finish.
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    bytes: u64,
+    notifications: u64,
+    activations: u64,
+}
+
+/// One reusable run slot. All vectors/maps are cleared, never freed,
+/// between the runs a slot hosts.
+struct Slot<P: Process> {
+    config: SimConfig,
+    n: usize,
+    st: RunState<P::Msg>,
+    /// Free slab indices in `st.pending` (tombstones available for reuse).
+    free: Vec<u32>,
+    /// Live event count (slab occupancy).
+    live: usize,
+    /// Intrusive next-pointers, parallel to `st.pending`: the per-channel
+    /// pending-delivery FIFO.
+    next_link: Vec<u32>,
+    /// FIFO hot path: latency-ordered keys into the slab.
+    heap: BinaryHeap<HeapKey>,
+    /// Exploring hot path: enabled events (per-channel heads plus every
+    /// crash/notify) as a seq-sorted vector — the policy picks over this
+    /// slice directly, with no per-step candidate rebuild. Slice order
+    /// is exactly the scalar candidate scan order (push seq).
+    frontier: Vec<FrontierEntry>,
+    explorer: Option<Explorer>,
+    fd: FailureDetector,
+    nodes: Vec<NodeSlot<P>>,
+    node_map: MiniMap,
+    channels: Vec<Channel>,
+    chan_map: MiniMap,
+    counters: Counters,
+    outcome: Option<RunOutcome>,
+}
+
+#[inline]
+fn chan_key(from: NodeId, to: NodeId) -> u64 {
+    (u64::from(from.0) << 32) | u64::from(to.0)
+}
+
+impl<P: Process> Slot<P> {
+    fn new() -> Self {
+        let config = SimConfig::default();
+        Slot {
+            st: RunState::new(&config, 0),
+            config,
+            n: 0,
+            free: Vec::new(),
+            live: 0,
+            next_link: Vec::new(),
+            heap: BinaryHeap::new(),
+            frontier: Vec::new(),
+            explorer: None,
+            fd: FailureDetector::new(),
+            nodes: Vec::new(),
+            node_map: MiniMap::new(),
+            channels: Vec::new(),
+            chan_map: MiniMap::new(),
+            counters: Counters::default(),
+            outcome: None,
+        }
+    }
+
+    /// Rearms the slot for `variant` and seeds its crash schedule,
+    /// mirroring the scalar `schedule_crash` loop.
+    fn reset(&mut self, graph: &Arc<Graph>, variant: &BatchVariant) {
+        self.config = variant.config;
+        self.n = graph.len();
+        self.st.reset(&variant.config, 0);
+        self.free.clear();
+        self.live = 0;
+        self.next_link.clear();
+        self.heap.clear();
+        self.frontier.clear();
+        self.explorer = Explorer::new(variant.policy.clone());
+        self.fd = FailureDetector::with_static_graph(Arc::clone(graph));
+        self.nodes.clear();
+        self.node_map.clear();
+        self.channels.clear();
+        self.chan_map.clear();
+        self.counters = Counters::default();
+        self.outcome = None;
+        for &(node, at) in &variant.crashes {
+            assert!(node.index() < self.n, "no such node {node}");
+            self.push_other(at, EventKind::Crash { node });
+        }
+    }
+
+    /// Allocates a slab index for `entry`, reusing tombstones.
+    fn alloc(&mut self, entry: Entry<P::Msg>) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.st.pending[i as usize] = Some(entry);
+                self.next_link[i as usize] = NONE;
+                i
+            }
+            None => {
+                self.st.pending.push(Some(entry));
+                self.next_link.push(NONE);
+                (self.st.pending.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Inserts into the seq-sorted frontier. New events carry the
+    /// highest seq so far, so this is usually a plain append; a
+    /// delivery unlocked mid-frontier pays one small memmove.
+    fn enable(frontier: &mut Vec<FrontierEntry>, e: FrontierEntry) {
+        let pos = frontier.partition_point(|f| f.seq < e.seq);
+        frontier.insert(pos, e);
+    }
+
+    /// Schedules a crash or failure-detector notification (always
+    /// individually enabled under an exploring policy).
+    fn push_other(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
+        let seq = self.st.seq;
+        self.st.seq += 1;
+        let target = match kind {
+            EventKind::Crash { node } => node,
+            EventKind::Notify { to, .. } | EventKind::Deliver { to, .. } => to,
+        };
+        let idx = self.alloc(Entry { at, seq, kind });
+        if self.explorer.is_some() {
+            Self::enable(
+                &mut self.frontier,
+                FrontierEntry {
+                    idx,
+                    seq,
+                    at,
+                    target,
+                },
+            );
+        } else {
+            self.heap.push(HeapKey { at, seq, idx });
+        }
+    }
+
+    /// Schedules a delivery on channel slot `ci` (enabled only as the
+    /// channel head under an exploring policy).
+    fn push_deliver(&mut self, at: SimTime, to: NodeId, from: NodeId, msg: P::Msg, ci: usize) {
+        let seq = self.st.seq;
+        self.st.seq += 1;
+        let idx = self.alloc(Entry {
+            at,
+            seq,
+            kind: EventKind::Deliver { to, from, msg },
+        });
+        if self.explorer.is_some() {
+            let ch = &mut self.channels[ci];
+            if ch.head == NONE {
+                ch.head = idx;
+                ch.tail = idx;
+                Self::enable(
+                    &mut self.frontier,
+                    FrontierEntry {
+                        idx,
+                        seq,
+                        at,
+                        target: to,
+                    },
+                );
+            } else {
+                self.next_link[ch.tail as usize] = idx;
+                ch.tail = idx;
+            }
+        } else {
+            self.heap.push(HeapKey { at, seq, idx });
+        }
+    }
+
+    /// Dense slot for `node`, created on first touch.
+    fn node_slot(&mut self, node: NodeId) -> usize {
+        if let Some(i) = self.node_map.get(u64::from(node.0)) {
+            return i as usize;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(NodeSlot {
+            id: node,
+            proc: None,
+            crashed: false,
+            stats: NodeMetrics::default(),
+        });
+        self.node_map.insert(u64::from(node.0), i as u32);
+        i
+    }
+
+    /// Dense slot for the directed channel `from -> to`, created on
+    /// first send.
+    fn chan_slot(&mut self, from: NodeId, to: NodeId) -> usize {
+        let key = chan_key(from, to);
+        if let Some(i) = self.chan_map.get(key) {
+            return i as usize;
+        }
+        let i = self.channels.len();
+        self.channels.push(Channel {
+            last_at: SimTime::ZERO,
+            delivered: 0,
+            head: NONE,
+            tail: NONE,
+        });
+        self.chan_map.insert(key, i as u32);
+        i
+    }
+
+    /// Takes the next event out of the slab: the latency-ordered head
+    /// under FIFO, or the policy's pick over the enabled frontier.
+    /// The frontier vector is kept in seq order, which is the order the
+    /// first live entry per channel (plus every crash/notify) appears
+    /// in the scalar pending scan — so the policy sees the exact scalar
+    /// candidate enumeration, with no per-step rebuild.
+    fn pop_next(&mut self) -> Entry<P::Msg> {
+        let idx = if let Some(explorer) = self.explorer.as_mut() {
+            let st = &self.st;
+            let chan_map = &self.chan_map;
+            let channels = &self.channels;
+            let frontier = &self.frontier;
+            let fifo = frontier
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| (c.at, c.seq))
+                .map(|(i, _)| i)
+                .expect("frontier is non-empty");
+            // Stable keys are built on demand only — for deviation
+            // records and replay matching — never in the per-step scan.
+            let key_of = |i: usize| {
+                let e = st.pending[frontier[i].idx as usize]
+                    .as_ref()
+                    .expect("frontier entry is live");
+                match e.kind {
+                    EventKind::Deliver { to, from, .. } => {
+                        let ci = chan_map
+                            .get(chan_key(from, to))
+                            .expect("delivery has a channel");
+                        let nth = channels[ci as usize].delivered;
+                        EventKey::Deliver { from, to, nth }
+                    }
+                    EventKind::Notify { to, crashed } => EventKey::Notify {
+                        observer: to,
+                        crashed,
+                    },
+                    EventKind::Crash { node } => EventKey::Crash { node },
+                }
+            };
+            let choice = explorer.choose_frontier(frontier, fifo, key_of);
+            let picked = self.frontier.remove(choice);
+            let e = self.st.pending[picked.idx as usize]
+                .as_ref()
+                .expect("picked entry is live");
+            if let EventKind::Deliver { to, from, .. } = e.kind {
+                let ci = self
+                    .chan_map
+                    .get(chan_key(from, to))
+                    .expect("delivery has a channel") as usize;
+                let ch = &mut self.channels[ci];
+                debug_assert_eq!(ch.head, picked.idx);
+                ch.delivered += 1;
+                let next = self.next_link[picked.idx as usize];
+                ch.head = next;
+                if next == NONE {
+                    ch.tail = NONE;
+                } else {
+                    let ne = self.st.pending[next as usize]
+                        .as_ref()
+                        .expect("successor is live");
+                    let target = match ne.kind {
+                        EventKind::Deliver { to, .. } => to,
+                        _ => unreachable!("channel lists hold deliveries only"),
+                    };
+                    Self::enable(
+                        &mut self.frontier,
+                        FrontierEntry {
+                            idx: next,
+                            seq: ne.seq,
+                            at: ne.at,
+                            target,
+                        },
+                    );
+                }
+            }
+            picked.idx
+        } else {
+            self.heap.pop().expect("live events queued").idx
+        };
+        self.live -= 1;
+        self.free.push(idx);
+        self.st.pending[idx as usize]
+            .take()
+            .expect("popped entry is live")
+    }
+
+    /// Advances this run by up to `STRIDE` events; `true` once finished.
+    fn step_chunk<F: FnMut(usize, NodeId) -> P>(&mut self, spawn: &mut F, run: usize) -> bool {
+        for _ in 0..STRIDE {
+            if self.live == 0 {
+                self.finish(RunOutcome::Quiescent {
+                    events: self.st.events_processed,
+                    at: self.st.time,
+                });
+                return true;
+            }
+            if let Some(cap) = self.config.max_events {
+                if self.st.events_processed >= cap {
+                    self.finish(RunOutcome::LimitReached {
+                        events: self.st.events_processed,
+                        at: self.st.time,
+                    });
+                    return true;
+                }
+            }
+            let entry = self.pop_next();
+            self.st.events_processed += 1;
+            self.st.time = self.st.time.max(entry.at);
+            self.dispatch(spawn, run, entry.kind);
+        }
+        false
+    }
+
+    fn finish(&mut self, outcome: RunOutcome) {
+        self.outcome = Some(outcome);
+    }
+
+    fn dispatch<F: FnMut(usize, NodeId) -> P>(
+        &mut self,
+        spawn: &mut F,
+        run: usize,
+        kind: EventKind<P::Msg>,
+    ) {
+        match kind {
+            EventKind::Crash { node } => {
+                let ni = self.node_slot(node);
+                if self.nodes[ni].crashed {
+                    return;
+                }
+                self.nodes[ni].crashed = true;
+                self.st.trace.record(TraceEntry::Crash {
+                    at: self.st.time,
+                    node,
+                });
+                for observer in self.fd.record_crash(node) {
+                    self.schedule_notify(observer, node);
+                }
+            }
+            EventKind::Deliver { to, from, msg } => {
+                let ni = self.node_slot(to);
+                if self.nodes[ni].crashed {
+                    self.counters.dropped += 1;
+                    return;
+                }
+                self.activate_if_needed(spawn, run, ni, to);
+                self.counters.delivered += 1;
+                self.counters.activations += 1;
+                let stats = &mut self.nodes[ni].stats;
+                stats.delivered += 1;
+                stats.activations += 1;
+                self.st.trace.record(TraceEntry::Deliver {
+                    at: self.st.time,
+                    from,
+                    to,
+                });
+                let mut cmds = mem::take(&mut self.st.command_buf);
+                {
+                    let mut ctx = Context::new(to, self.st.time, &mut cmds);
+                    let p = self.nodes[ni].proc.as_mut().expect("activated above");
+                    p.on_message(from, msg, &mut ctx);
+                }
+                self.execute_commands(to, ni, &mut cmds);
+                self.st.command_buf = cmds;
+            }
+            EventKind::Notify { to, crashed } => {
+                let ni = self.node_slot(to);
+                if self.nodes[ni].crashed {
+                    return;
+                }
+                self.activate_if_needed(spawn, run, ni, to);
+                self.counters.notifications += 1;
+                self.counters.activations += 1;
+                self.nodes[ni].stats.activations += 1;
+                self.st.trace.record(TraceEntry::Notify {
+                    at: self.st.time,
+                    observer: to,
+                    crashed,
+                });
+                let mut cmds = mem::take(&mut self.st.command_buf);
+                {
+                    let mut ctx = Context::new(to, self.st.time, &mut cmds);
+                    let p = self.nodes[ni].proc.as_mut().expect("activated above");
+                    p.on_crash_notification(crashed, &mut ctx);
+                }
+                self.execute_commands(to, ni, &mut cmds);
+                self.st.command_buf = cmds;
+            }
+        }
+    }
+
+    /// Lazy activation, exactly the scalar ordering: spawn, `on_start`
+    /// into the command buffer, install the process, then execute the
+    /// commands (so `on_start` sends/monitors happen *before* the
+    /// triggering event is recorded).
+    fn activate_if_needed<F: FnMut(usize, NodeId) -> P>(
+        &mut self,
+        spawn: &mut F,
+        run: usize,
+        ni: usize,
+        node: NodeId,
+    ) {
+        if self.nodes[ni].proc.is_some() {
+            return;
+        }
+        let mut proc = spawn(run, node);
+        let mut cmds = mem::take(&mut self.st.command_buf);
+        {
+            let mut ctx = Context::new(node, self.st.time, &mut cmds);
+            proc.on_start(&mut ctx);
+        }
+        self.nodes[ni].proc = Some(proc);
+        self.execute_commands(node, ni, &mut cmds);
+        self.st.command_buf = cmds;
+    }
+
+    fn execute_commands(&mut self, me: NodeId, ni: usize, cmds: &mut Vec<Command<P::Msg>>) {
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Send { to, msg } => {
+                    assert!(to.index() < self.n, "send to unknown node {to}");
+                    let bytes = msg.size_bytes() as u64;
+                    self.counters.sent += 1;
+                    self.counters.bytes += bytes;
+                    let stats = &mut self.nodes[ni].stats;
+                    stats.sent += 1;
+                    stats.sent_bytes += bytes;
+                    self.st.trace.record(TraceEntry::Send {
+                        at: self.st.time,
+                        from: me,
+                        to,
+                    });
+                    let latency = self.config.latency.sample(&mut self.st.rng);
+                    let ci = self.chan_slot(me, to);
+                    let ch = &mut self.channels[ci];
+                    // New channels start at SimTime::ZERO, so the clamp
+                    // is the identity on the first send — exactly the
+                    // scalar row-absent case.
+                    let at = (self.st.time + latency).max(ch.last_at);
+                    ch.last_at = at;
+                    self.push_deliver(at, to, me, msg, ci);
+                }
+                Command::Monitor { target } => {
+                    if self.fd.subscribe(me, target) {
+                        self.schedule_notify(me, target);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_notify(&mut self, observer: NodeId, crashed: NodeId) {
+        let latency = self.config.fd_latency.sample(&mut self.st.rng);
+        let at = self.st.time + latency;
+        self.push_other(
+            at,
+            EventKind::Notify {
+                to: observer,
+                crashed,
+            },
+        );
+    }
+
+    /// Materializes the finished run's observables, leaving the slot's
+    /// allocations in place for the next run.
+    fn collect(&mut self) -> BatchRun<P> {
+        let outcome = self.outcome.take().expect("run finished");
+        let c = self.counters;
+        let mut per_node: Vec<(NodeId, NodeMetrics)> = self
+            .nodes
+            .iter()
+            .filter(|ns| ns.stats != NodeMetrics::default())
+            .map(|ns| (ns.id, ns.stats))
+            .collect();
+        per_node.sort_unstable_by_key(|&(id, _)| id);
+        let metrics = Metrics {
+            per_node: per_node.into_iter().collect(),
+            messages_sent: c.sent,
+            messages_delivered: c.delivered,
+            messages_dropped: c.dropped,
+            bytes_sent: c.bytes,
+            crash_notifications: c.notifications,
+            events_processed: c.activations,
+            finished_at: self.st.time,
+        };
+        let trace = mem::replace(&mut self.st.trace, Trace::new(false));
+        let schedule = self.explorer.as_ref().map(Explorer::recorded);
+        let mut processes: Vec<(NodeId, P)> = self
+            .nodes
+            .drain(..)
+            .filter_map(|ns| ns.proc.map(|p| (ns.id, p)))
+            .collect();
+        processes.sort_unstable_by_key(|&(id, _)| id);
+        BatchRun {
+            outcome,
+            metrics,
+            trace,
+            schedule,
+            processes,
+        }
+    }
+}
+
+/// The lockstep batch engine: runs waves of scenario variants over one
+/// shared graph, reusing per-slot arenas across waves. See the
+/// [module docs](self) for the design and the equivalence contract.
+///
+/// `spawn(run, node)` constructs the process for `node` in the wave's
+/// `run`-th variant; it is called lazily, at the node's first event,
+/// exactly like the scalar lazy factory.
+pub struct BatchSim<P: Process, F> {
+    graph: Arc<Graph>,
+    spawn: F,
+    slots: Vec<Slot<P>>,
+}
+
+impl<P: Process, F> std::fmt::Debug for BatchSim<P, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSim")
+            .field("nodes", &self.graph.len())
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<P: Process, F: FnMut(usize, NodeId) -> P> BatchSim<P, F> {
+    /// Creates an engine over `graph` with the lazy process factory
+    /// `spawn`.
+    pub fn new(graph: Arc<Graph>, spawn: F) -> Self {
+        BatchSim {
+            graph,
+            spawn,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Executes one wave: every variant runs to completion (quiescence
+    /// or its event cap), K-at-a-time in lockstep, and the results come
+    /// back in variant order. Calling `run` again reuses the slots'
+    /// allocations — drivers feed large budgets through repeated waves.
+    pub fn run(&mut self, variants: &[BatchVariant]) -> Vec<BatchRun<P>> {
+        let k = variants.len();
+        while self.slots.len() < k {
+            self.slots.push(Slot::new());
+        }
+        let graph = &self.graph;
+        let spawn = &mut self.spawn;
+        let slots = &mut self.slots;
+        for (i, variant) in variants.iter().enumerate() {
+            slots[i].reset(graph, variant);
+        }
+        let mut remaining = k;
+        let mut done = vec![false; k];
+        while remaining > 0 {
+            for (i, done) in done.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                if slots[i].step_chunk(spawn, i) {
+                    *done = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        slots[..k].iter_mut().map(Slot::collect).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LatencyModel, Simulation};
+
+    #[derive(Clone, Debug)]
+    struct Blob(Vec<u8>);
+    impl MessageSize for Blob {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    /// Gossip-ish test process: monitors graph neighbours on start, and
+    /// on a crash notification floods its neighbours with a couple of
+    /// rounds of payloads (so runs exercise channels, clamping, drops
+    /// and multi-hop causality).
+    struct Gossip {
+        graph: Arc<Graph>,
+        me: NodeId,
+        rounds: u8,
+        received: Vec<(SimTime, NodeId, u8)>,
+        notified: Vec<(SimTime, NodeId)>,
+    }
+
+    impl Gossip {
+        fn spawn(graph: &Arc<Graph>, me: NodeId) -> Self {
+            Gossip {
+                graph: Arc::clone(graph),
+                me,
+                rounds: 0,
+                received: Vec::new(),
+                notified: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Gossip {
+        type Msg = Blob;
+        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            for &n in self.graph.neighbors(self.me) {
+                ctx.monitor(n);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Blob, ctx: &mut Context<'_, Blob>) {
+            self.received.push((ctx.now(), from, msg.0[0]));
+            if msg.0[0] > 0 {
+                for &n in self.graph.neighbors(self.me) {
+                    ctx.send(n, Blob(vec![msg.0[0] - 1, self.me.0 as u8]));
+                }
+            }
+        }
+        fn on_crash_notification(&mut self, crashed: NodeId, ctx: &mut Context<'_, Blob>) {
+            self.notified.push((ctx.now(), crashed));
+            if self.rounds < 2 {
+                self.rounds += 1;
+                for &n in self.graph.neighbors(self.me) {
+                    ctx.send(n, Blob(vec![2, self.me.0 as u8]));
+                }
+            }
+        }
+    }
+
+    fn config(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            latency: LatencyModel::Uniform {
+                min: SimTime::from_micros(200),
+                max: SimTime::from_millis(2),
+            },
+            fd_latency: LatencyModel::Uniform {
+                min: SimTime::from_millis(1),
+                max: SimTime::from_millis(5),
+            },
+            record_trace: true,
+            max_events: None,
+        }
+    }
+
+    fn scalar_run(
+        graph: &Arc<Graph>,
+        variant: &BatchVariant,
+    ) -> (RunOutcome, Metrics, Trace, Option<Schedule>, Vec<NodeId>) {
+        let g = Arc::clone(graph);
+        let mut sim: Simulation<Gossip> = Simulation::lazy_with_policy(
+            variant.config,
+            graph,
+            move |me| Gossip::spawn(&g, me),
+            variant.policy.clone(),
+        );
+        for &(node, at) in &variant.crashes {
+            sim.schedule_crash(node, at);
+        }
+        let outcome = sim.run();
+        let activated: Vec<NodeId> = sim.processes().map(|(id, _)| id).collect();
+        (
+            outcome,
+            sim.metrics().clone(),
+            sim.trace().clone(),
+            sim.recorded_schedule(),
+            activated,
+        )
+    }
+
+    fn variants_for(graph: &Arc<Graph>) -> Vec<BatchVariant> {
+        let crash = NodeId((graph.len() / 2) as u32);
+        let crashes = vec![(crash, SimTime::from_millis(1))];
+        let mut vs = Vec::new();
+        for seed in 0..4u64 {
+            for policy in [
+                SchedulePolicy::Fifo,
+                SchedulePolicy::Random(seed * 7 + 1),
+                SchedulePolicy::Pcr(seed * 13 + 5),
+            ] {
+                vs.push(BatchVariant {
+                    config: config(seed),
+                    policy,
+                    crashes: crashes.clone(),
+                });
+            }
+        }
+        vs
+    }
+
+    fn assert_batch_matches_scalar(graph: Arc<Graph>) {
+        let variants = variants_for(&graph);
+        let g = Arc::clone(&graph);
+        let mut batch = BatchSim::new(Arc::clone(&graph), move |_, me| Gossip::spawn(&g, me));
+        // Two waves over the same variants: the second exercises arena
+        // reuse and must be bit-identical to the first.
+        for wave in 0..2 {
+            let runs = batch.run(&variants);
+            assert_eq!(runs.len(), variants.len());
+            for (v, r) in variants.iter().zip(&runs) {
+                let (outcome, metrics, trace, schedule, activated) = scalar_run(&graph, v);
+                let tag = format!("wave {wave}, {:?} seed {}", v.policy.tag(), v.config.seed);
+                assert_eq!(r.outcome, outcome, "outcome diverged: {tag}");
+                assert_eq!(r.trace.hash(), trace.hash(), "trace hash diverged: {tag}");
+                assert_eq!(r.trace.len(), trace.len(), "trace len diverged: {tag}");
+                assert_eq!(
+                    r.trace.entries(),
+                    trace.entries(),
+                    "trace entries diverged: {tag}"
+                );
+                assert_eq!(r.metrics, metrics, "metrics diverged: {tag}");
+                assert_eq!(r.schedule, schedule, "schedule diverged: {tag}");
+                let ids: Vec<NodeId> = r.processes.iter().map(|&(id, _)| id).collect();
+                assert_eq!(ids, activated, "activation footprint diverged: {tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_a_path() {
+        assert_batch_matches_scalar(Arc::new(precipice_graph::path(8)));
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_a_ring() {
+        assert_batch_matches_scalar(Arc::new(precipice_graph::ring(10)));
+    }
+
+    #[test]
+    fn batched_replay_of_batched_schedule_reproduces_the_run() {
+        let graph = Arc::new(precipice_graph::ring(8));
+        let g = Arc::clone(&graph);
+        let mut batch = BatchSim::new(Arc::clone(&graph), move |_, me| Gossip::spawn(&g, me));
+        let fuzz = BatchVariant {
+            config: config(3),
+            policy: SchedulePolicy::Random(42),
+            crashes: vec![(NodeId(4), SimTime::from_millis(1))],
+        };
+        let first = &batch.run(std::slice::from_ref(&fuzz))[0];
+        let schedule = first.schedule.clone().expect("exploring policy records");
+        let hash = first.trace.hash();
+        assert!(!schedule.is_empty(), "random run deviates somewhere");
+        let replay = BatchVariant {
+            policy: SchedulePolicy::Replay(schedule.clone()),
+            ..fuzz
+        };
+        let second = &batch.run(std::slice::from_ref(&replay))[0];
+        assert_eq!(second.trace.hash(), hash, "replay must be bit-identical");
+        assert_eq!(second.schedule.as_ref(), Some(&schedule));
+    }
+
+    #[test]
+    fn event_cap_is_honored() {
+        let graph = Arc::new(precipice_graph::ring(6));
+        let g = Arc::clone(&graph);
+        let mut batch = BatchSim::new(Arc::clone(&graph), move |_, me| Gossip::spawn(&g, me));
+        let mut cfg = config(1);
+        cfg.max_events = Some(5);
+        let v = BatchVariant {
+            config: cfg,
+            policy: SchedulePolicy::Fifo,
+            crashes: vec![(NodeId(0), SimTime::from_millis(1))],
+        };
+        let (run_outcome, metrics, ..) = scalar_run(&graph, &v);
+        let r = &batch.run(std::slice::from_ref(&v))[0];
+        assert!(!r.outcome.is_quiescent());
+        assert_eq!(r.outcome.events(), 5);
+        assert_eq!(r.outcome, run_outcome);
+        assert_eq!(r.metrics, metrics);
+    }
+
+    #[test]
+    fn empty_wave_and_empty_variant() {
+        let graph = Arc::new(precipice_graph::path(3));
+        let g = Arc::clone(&graph);
+        let mut batch = BatchSim::new(Arc::clone(&graph), move |_, me| Gossip::spawn(&g, me));
+        assert!(batch.run(&[]).is_empty());
+        let idle = BatchVariant {
+            config: SimConfig::default(),
+            policy: SchedulePolicy::Fifo,
+            crashes: vec![],
+        };
+        let r = &batch.run(std::slice::from_ref(&idle))[0];
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Quiescent {
+                events: 0,
+                at: SimTime::ZERO
+            }
+        );
+        assert!(r.processes.is_empty());
+    }
+
+    #[test]
+    fn minimap_survives_growth_and_clear() {
+        let mut m = MiniMap::new();
+        for i in 0..500u64 {
+            m.insert(i * 0x1_0001, i as u32);
+        }
+        for i in 0..500u64 {
+            assert_eq!(m.get(i * 0x1_0001), Some(i as u32));
+        }
+        assert_eq!(m.get(0xdead_beef_dead_beef), None);
+        m.clear();
+        assert_eq!(m.get(0), None);
+        m.insert(7, 9);
+        assert_eq!(m.get(7), Some(9));
+    }
+}

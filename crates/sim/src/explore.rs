@@ -256,6 +256,24 @@ impl FromStr for Schedule {
     }
 }
 
+/// A frontier candidate as the batch engine stores it: position in the
+/// event slab, scheduling order, and the target node — everything a
+/// policy pick needs *except* the stable [`EventKey`], which
+/// [`Explorer::choose_frontier`] materializes lazily (deviation
+/// recording and replay matching only), so the per-step scan does no
+/// per-candidate channel-count lookups.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrontierEntry {
+    /// Index into the batch slab.
+    pub idx: u32,
+    /// Global push sequence number (FIFO tie-break; frontier sort key).
+    pub seq: u64,
+    /// Scheduled (latency) execution time.
+    pub at: SimTime,
+    /// Node whose state the event touches.
+    pub target: NodeId,
+}
+
 /// A schedulable event as presented to the policy: its identity, its
 /// target node (whose handler runs), and its FIFO key.
 #[derive(Debug, Clone, Copy)]
@@ -309,7 +327,12 @@ pub(crate) struct Explorer {
     step: u64,
     /// Executed deliveries per directed channel (includes deliveries
     /// dropped at a crashed receiver — they consume a decision too).
+    /// Maintained by [`Explorer::choose`] for the scalar candidate scan;
+    /// the batch engine tracks counts in its channel slots instead and
+    /// never reads this.
     delivered: BTreeMap<(NodeId, NodeId), u32>,
+    /// Reusable dependent-set buffer for PCR picks over a frontier.
+    scratch: Vec<u32>,
 }
 
 impl Explorer {
@@ -330,6 +353,7 @@ impl Explorer {
             recorded: Vec::new(),
             step: 0,
             delivered: BTreeMap::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -383,6 +407,61 @@ impl Explorer {
         }
         if let EventKey::Deliver { from, to, .. } = candidates[choice].key {
             *self.delivered.entry((from, to)).or_insert(0) += 1;
+        }
+        self.step += 1;
+        choice
+    }
+
+    /// Batch-engine counterpart of [`Explorer::choose`]: picks over a
+    /// seq-ordered enabled frontier without materializing per-candidate
+    /// [`EventKey`]s. The RNG draw sequence, deviation records and
+    /// decision-step numbering are bit-identical to `choose` on the
+    /// equivalent candidate list; `key_of(i)` produces candidate `i`'s
+    /// stable key on demand (replay matching and deviation recording —
+    /// the only consumers). Per-channel delivery counts are *not*
+    /// tracked here: the batch engine owns them (its channel slots),
+    /// and `key_of` reads them from there.
+    pub(crate) fn choose_frontier(
+        &mut self,
+        frontier: &[FrontierEntry],
+        fifo: usize,
+        mut key_of: impl FnMut(usize) -> EventKey,
+    ) -> usize {
+        debug_assert!(!frontier.is_empty());
+        let choice = match &mut self.mode {
+            Mode::Random(rng) => rng.below(frontier.len()),
+            Mode::Pcr(rng) => {
+                // Same dependent-set semantics as `choose`, with a
+                // reused index buffer instead of a fresh Vec per step.
+                let target = frontier[fifo].target;
+                self.scratch.clear();
+                self.scratch.extend(
+                    frontier
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.target == target)
+                        .map(|(i, _)| i as u32),
+                );
+                self.scratch[rng.below(self.scratch.len())] as usize
+            }
+            Mode::Replay { queue, next } => {
+                let mut choice = fifo;
+                if let Some(dev) = queue.get(*next) {
+                    if dev.step == self.step {
+                        if let Some(i) = (0..frontier.len()).find(|&i| key_of(i) == dev.key) {
+                            choice = i;
+                        }
+                        *next += 1;
+                    }
+                }
+                choice
+            }
+        };
+        if choice != fifo {
+            self.recorded.push(Deviation {
+                step: self.step,
+                key: key_of(choice),
+            });
         }
         self.step += 1;
         choice

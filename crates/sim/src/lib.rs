@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod batch;
 pub mod explore;
 mod fd;
 mod latency;
@@ -71,6 +72,7 @@ mod sim;
 mod time;
 mod trace;
 
+pub use batch::{BatchRun, BatchSim, BatchVariant};
 pub use explore::{Deviation, EventKey, Schedule, SchedulePolicy};
 pub use fd::FailureDetector;
 pub use latency::LatencyModel;

@@ -90,16 +90,16 @@ impl RunOutcome {
     }
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Notify { to: NodeId, crashed: NodeId },
     Crash { node: NodeId },
 }
 
-struct Entry<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+pub(crate) struct Entry<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<M>,
 }
 
 impl<M> PartialEq for Entry<M> {
@@ -150,33 +150,37 @@ impl<P> ProcessTable<P> {
     }
 }
 
-/// Deterministic discrete-event simulator over a set of [`Process`]es.
-///
-/// Nodes are identified by their index in the process vector (or by
-/// `NodeId(0)..NodeId(n)` in [lazy mode](Simulation::lazy_with_policy)).
-/// See the [crate docs](crate) for an end-to-end example.
-pub struct Simulation<P: Process> {
-    config: SimConfig,
-    procs: ProcessTable<P>,
-    crashed: Vec<bool>,
-    queue: BinaryHeap<Entry<P::Msg>>,
+/// The per-run mutable state of a simulation, split from the run's
+/// immutable inputs (configuration, process table, scheduling policy)
+/// so drivers can **recycle** it: the scalar [`Simulation`] owns one
+/// for its single run; the lockstep batch engine
+/// ([`batch`](crate::batch)) owns one per concurrent run slot and
+/// [`reset`](RunState::reset)s them between waves, so a thousand-run
+/// sweep reuses the same heap allocations instead of reallocating
+/// queues, scratch tables and trace buffers per run.
+pub(crate) struct RunState<M> {
+    /// Crash flags, indexed by node (scalar driver only; the batch
+    /// engine keeps crash flags on its footprint-proportional node
+    /// slots and leaves this empty).
+    pub(crate) crashed: Vec<bool>,
+    /// Latency-ordered event queue (FIFO policy hot path).
+    pub(crate) queue: BinaryHeap<Entry<M>>,
     /// Pending events in push (seq) order — used instead of `queue` when
     /// an exploring [`SchedulePolicy`] is installed, so the scheduler can
     /// pick any enabled event, not just the latency-ordered head.
     /// Executed entries become `None` tombstones (swap-free removal); the
-    /// vector is compacted once dead slots outnumber live ones, so the
-    /// per-step cost is the live candidate scan, not a middle-of-the-vec
-    /// `remove` plus a rebuilt index map.
-    pending: Vec<Option<Entry<P::Msg>>>,
-    pending_live: usize,
-    explorer: Option<Explorer>,
-    /// Scratch for `pop_next`: channels already seen this scan (the first
-    /// live entry per channel is its FIFO-enabled head). Reused across
-    /// steps; only membership-tested, never iterated, so the hash order
-    /// cannot leak into scheduling.
-    seen_channels: HashSet<(NodeId, NodeId)>,
-    /// Scratch candidate list for `pop_next`, reused across steps.
-    candidates: Vec<Candidate>,
+    /// scalar driver compacts the vector once dead slots outnumber live
+    /// ones, while the batch engine treats the dead slots as a free list
+    /// (its frontier index never scans the vector).
+    pub(crate) pending: Vec<Option<Entry<M>>>,
+    pub(crate) pending_live: usize,
+    /// Scratch for the scalar `pop_next` scan: channels already seen this
+    /// scan (the first live entry per channel is its FIFO-enabled head).
+    /// Reused across steps; only membership-tested, never iterated, so
+    /// the hash order cannot leak into scheduling.
+    pub(crate) seen_channels: HashSet<(NodeId, NodeId)>,
+    /// Scratch candidate list, reused across steps.
+    pub(crate) candidates: Vec<Candidate>,
     /// Last scheduled delivery time per directed channel; clamping new
     /// deliveries to it keeps channels FIFO under jittery latency.
     ///
@@ -186,25 +190,82 @@ pub struct Simulation<P: Process> {
     /// graph keeps rows for the handful of active senders only (a dense
     /// n-slot row per sender would be 8 MB each at n = 10⁶). Lookups are
     /// a hash on the sender plus a binary search on the receiver.
-    fifo_last: HashMap<NodeId, Vec<(NodeId, SimTime)>>,
+    /// (Scalar driver only; the batch engine keeps the row on the
+    /// sender's node slot.)
+    pub(crate) fifo_last: HashMap<NodeId, Vec<(NodeId, SimTime)>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) trace: Trace,
+    pub(crate) rng: StdRng,
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) started: bool,
+    pub(crate) events_processed: u64,
+    pub(crate) command_buf: Vec<Command<M>>,
+}
+
+impl<M> RunState<M> {
+    pub(crate) fn new(config: &SimConfig, n: usize) -> Self {
+        RunState {
+            crashed: vec![false; n],
+            queue: BinaryHeap::new(),
+            pending: Vec::new(),
+            pending_live: 0,
+            seen_channels: HashSet::new(),
+            candidates: Vec::new(),
+            fifo_last: HashMap::new(),
+            metrics: Metrics::default(),
+            trace: Trace::new(config.record_trace),
+            rng: StdRng::seed_from_u64(config.seed),
+            time: SimTime::ZERO,
+            seq: 0,
+            started: false,
+            events_processed: 0,
+            command_buf: Vec::new(),
+        }
+    }
+
+    /// Rearms the state for a fresh run under `config`, keeping every
+    /// reusable allocation (queues, scratch tables, trace storage).
+    pub(crate) fn reset(&mut self, config: &SimConfig, n: usize) {
+        self.crashed.clear();
+        self.crashed.resize(n, false);
+        self.queue.clear();
+        self.pending.clear();
+        self.pending_live = 0;
+        self.seen_channels.clear();
+        self.candidates.clear();
+        self.fifo_last.clear();
+        self.metrics = Metrics::default();
+        self.trace.reset(config.record_trace);
+        self.rng = StdRng::seed_from_u64(config.seed);
+        self.time = SimTime::ZERO;
+        self.seq = 0;
+        self.started = false;
+        self.events_processed = 0;
+        self.command_buf.clear();
+    }
+}
+
+/// Deterministic discrete-event simulator over a set of [`Process`]es.
+///
+/// Nodes are identified by their index in the process vector (or by
+/// `NodeId(0)..NodeId(n)` in [lazy mode](Simulation::lazy_with_policy)).
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Simulation<P: Process> {
+    config: SimConfig,
+    procs: ProcessTable<P>,
+    explorer: Option<Explorer>,
     fd: FailureDetector,
-    metrics: Metrics,
-    trace: Trace,
-    rng: StdRng,
-    time: SimTime,
-    seq: u64,
-    started: bool,
-    events_processed: u64,
-    command_buf: Vec<Command<P::Msg>>,
+    st: RunState<P::Msg>,
 }
 
 impl<P: Process> std::fmt::Debug for Simulation<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("nodes", &self.procs.len())
-            .field("time", &self.time)
-            .field("queued", &(self.queue.len() + self.pending_live))
-            .field("events_processed", &self.events_processed)
+            .field("time", &self.st.time)
+            .field("queued", &(self.st.queue.len() + self.st.pending_live))
+            .field("events_processed", &self.st.events_processed)
             .finish()
     }
 }
@@ -276,28 +337,14 @@ impl<P: Process> Simulation<P> {
         fd_graph: Option<Arc<Graph>>,
     ) -> Self {
         Simulation {
-            rng: StdRng::seed_from_u64(config.seed),
-            trace: Trace::new(config.record_trace),
+            st: RunState::new(&config, n),
             config,
-            crashed: vec![false; n],
             procs,
-            queue: BinaryHeap::new(),
-            pending: Vec::new(),
-            pending_live: 0,
             explorer: Explorer::new(policy),
-            seen_channels: HashSet::new(),
-            candidates: Vec::new(),
-            fifo_last: HashMap::new(),
             fd: match fd_graph {
                 Some(g) => FailureDetector::with_static_graph(g),
                 None => FailureDetector::new(),
             },
-            metrics: Metrics::default(),
-            time: SimTime::ZERO,
-            seq: 0,
-            started: false,
-            events_processed: 0,
-            command_buf: Vec::new(),
         }
     }
 
@@ -313,7 +360,7 @@ impl<P: Process> Simulation<P> {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.time
+        self.st.time
     }
 
     /// Schedules `node` to crash at time `at`.
@@ -327,7 +374,7 @@ impl<P: Process> Simulation<P> {
     /// Panics if `node` is out of range or `at` is in the past.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
         assert!(node.index() < self.procs.len(), "no such node {node}");
-        assert!(at >= self.time, "cannot schedule a crash in the past");
+        assert!(at >= self.st.time, "cannot schedule a crash in the past");
         self.push(at, EventKind::Crash { node });
     }
 
@@ -348,33 +395,33 @@ impl<P: Process> Simulation<P> {
         self.start_if_needed();
         while self.has_pending() {
             if let Some(cap) = self.config.max_events {
-                if self.events_processed >= cap {
+                if self.st.events_processed >= cap {
                     // Events stay queued so a later `run` could resume.
-                    self.metrics.set_finished_at(self.time);
+                    self.st.metrics.set_finished_at(self.st.time);
                     return RunOutcome::LimitReached {
-                        events: self.events_processed,
-                        at: self.time,
+                        events: self.st.events_processed,
+                        at: self.st.time,
                     };
                 }
             }
             let entry = self.pop_next().expect("has_pending checked");
-            self.events_processed += 1;
+            self.st.events_processed += 1;
             debug_assert!(
-                self.explorer.is_some() || entry.at >= self.time,
+                self.explorer.is_some() || entry.at >= self.st.time,
                 "time went backwards"
             );
-            self.time = self.time.max(entry.at);
+            self.st.time = self.st.time.max(entry.at);
             self.dispatch(entry.kind);
         }
-        self.metrics.set_finished_at(self.time);
+        self.st.metrics.set_finished_at(self.st.time);
         RunOutcome::Quiescent {
-            events: self.events_processed,
-            at: self.time,
+            events: self.st.events_processed,
+            at: self.st.time,
         }
     }
 
     fn has_pending(&self) -> bool {
-        !self.queue.is_empty() || self.pending_live > 0
+        !self.st.queue.is_empty() || self.st.pending_live > 0
     }
 
     /// Pops the next event: the latency-ordered head under FIFO, or the
@@ -385,9 +432,9 @@ impl<P: Process> Simulation<P> {
     /// are always enabled.
     fn pop_next(&mut self) -> Option<Entry<P::Msg>> {
         let Some(explorer) = self.explorer.as_mut() else {
-            return self.queue.pop();
+            return self.st.queue.pop();
         };
-        if self.pending_live == 0 {
+        if self.st.pending_live == 0 {
             return None;
         }
         // `pending` is in push (seq) order — tombstone compaction
@@ -395,14 +442,14 @@ impl<P: Process> Simulation<P> {
         // channel's earliest (per-channel FIFO clamping also makes it the
         // earliest-timed, hence the global `(time, seq)` minimum is
         // always enabled and FIFO replay is exact).
-        self.seen_channels.clear();
-        let mut candidates = std::mem::take(&mut self.candidates);
+        self.st.seen_channels.clear();
+        let mut candidates = std::mem::take(&mut self.st.candidates);
         candidates.clear();
-        for (i, slot) in self.pending.iter().enumerate() {
+        for (i, slot) in self.st.pending.iter().enumerate() {
             let Some(e) = slot else { continue };
             let (key, target) = match e.kind {
                 EventKind::Deliver { to, from, .. } => {
-                    if !self.seen_channels.insert((from, to)) {
+                    if !self.st.seen_channels.insert((from, to)) {
                         continue;
                     }
                     let key = EventKey::Deliver {
@@ -437,12 +484,12 @@ impl<P: Process> Simulation<P> {
             .expect("pending has live entries");
         let choice = explorer.choose(&candidates, fifo);
         let idx = candidates[choice].pending_idx;
-        self.candidates = candidates;
-        let entry = self.pending[idx].take().expect("candidate slot is live");
-        self.pending_live -= 1;
-        if self.pending.len() >= 32 && self.pending_live * 2 < self.pending.len() {
+        self.st.candidates = candidates;
+        let entry = self.st.pending[idx].take().expect("candidate slot is live");
+        self.st.pending_live -= 1;
+        if self.st.pending.len() >= 32 && self.st.pending_live * 2 < self.st.pending.len() {
             // Amortized O(1) per executed event; keeps seq order.
-            self.pending.retain(Option::is_some);
+            self.st.pending.retain(Option::is_some);
         }
         Some(entry)
     }
@@ -462,10 +509,10 @@ impl<P: Process> Simulation<P> {
     }
 
     fn start_if_needed(&mut self) {
-        if self.started {
+        if self.st.started {
             return;
         }
-        self.started = true;
+        self.st.started = true;
         if matches!(self.procs, ProcessTable::Lazy { .. }) {
             // Lazy mode: each node's `on_start` runs at activation time
             // (immediately before its first event) instead.
@@ -473,16 +520,16 @@ impl<P: Process> Simulation<P> {
         }
         for i in 0..self.procs.len() {
             let me = NodeId::from_index(i);
-            let mut cmds = std::mem::take(&mut self.command_buf);
+            let mut cmds = std::mem::take(&mut self.st.command_buf);
             {
-                let mut ctx = Context::new(me, self.time, &mut cmds);
+                let mut ctx = Context::new(me, self.st.time, &mut cmds);
                 let ProcessTable::Eager(procs) = &mut self.procs else {
                     unreachable!("table mode never changes");
                 };
                 procs[i].on_start(&mut ctx);
             }
             self.execute_commands(me, &mut cmds);
-            self.command_buf = cmds;
+            self.st.command_buf = cmds;
         }
     }
 
@@ -499,14 +546,14 @@ impl<P: Process> Simulation<P> {
             return;
         }
         let mut proc = factory(node);
-        let mut cmds = std::mem::take(&mut self.command_buf);
+        let mut cmds = std::mem::take(&mut self.st.command_buf);
         {
-            let mut ctx = Context::new(node, self.time, &mut cmds);
+            let mut ctx = Context::new(node, self.st.time, &mut cmds);
             proc.on_start(&mut ctx);
         }
         active.insert(node, proc);
         self.execute_commands(node, &mut cmds);
-        self.command_buf = cmds;
+        self.st.command_buf = cmds;
     }
 
     /// The process of `node`, which must already exist (always true in
@@ -523,12 +570,12 @@ impl<P: Process> Simulation<P> {
     fn dispatch(&mut self, kind: EventKind<P::Msg>) {
         match kind {
             EventKind::Crash { node } => {
-                if self.crashed[node.index()] {
+                if self.st.crashed[node.index()] {
                     return;
                 }
-                self.crashed[node.index()] = true;
-                self.trace.record(TraceEntry::Crash {
-                    at: self.time,
+                self.st.crashed[node.index()] = true;
+                self.st.trace.record(TraceEntry::Crash {
+                    at: self.st.time,
                     node,
                 });
                 for observer in self.fd.record_crash(node) {
@@ -536,45 +583,45 @@ impl<P: Process> Simulation<P> {
                 }
             }
             EventKind::Deliver { to, from, msg } => {
-                if self.crashed[to.index()] {
-                    self.metrics.record_drop();
+                if self.st.crashed[to.index()] {
+                    self.st.metrics.record_drop();
                     return;
                 }
                 self.activate_if_needed(to);
-                self.metrics.record_delivery(to);
-                self.metrics.record_activation(to);
-                self.trace.record(TraceEntry::Deliver {
-                    at: self.time,
+                self.st.metrics.record_delivery(to);
+                self.st.metrics.record_activation(to);
+                self.st.trace.record(TraceEntry::Deliver {
+                    at: self.st.time,
                     from,
                     to,
                 });
-                let mut cmds = std::mem::take(&mut self.command_buf);
+                let mut cmds = std::mem::take(&mut self.st.command_buf);
                 {
-                    let mut ctx = Context::new(to, self.time, &mut cmds);
+                    let mut ctx = Context::new(to, self.st.time, &mut cmds);
                     self.proc_mut(to).on_message(from, msg, &mut ctx);
                 }
                 self.execute_commands(to, &mut cmds);
-                self.command_buf = cmds;
+                self.st.command_buf = cmds;
             }
             EventKind::Notify { to, crashed } => {
-                if self.crashed[to.index()] {
+                if self.st.crashed[to.index()] {
                     return;
                 }
                 self.activate_if_needed(to);
-                self.metrics.record_crash_notification();
-                self.metrics.record_activation(to);
-                self.trace.record(TraceEntry::Notify {
-                    at: self.time,
+                self.st.metrics.record_crash_notification();
+                self.st.metrics.record_activation(to);
+                self.st.trace.record(TraceEntry::Notify {
+                    at: self.st.time,
                     observer: to,
                     crashed,
                 });
-                let mut cmds = std::mem::take(&mut self.command_buf);
+                let mut cmds = std::mem::take(&mut self.st.command_buf);
                 {
-                    let mut ctx = Context::new(to, self.time, &mut cmds);
+                    let mut ctx = Context::new(to, self.st.time, &mut cmds);
                     self.proc_mut(to).on_crash_notification(crashed, &mut ctx);
                 }
                 self.execute_commands(to, &mut cmds);
-                self.command_buf = cmds;
+                self.st.command_buf = cmds;
             }
         }
     }
@@ -584,22 +631,22 @@ impl<P: Process> Simulation<P> {
             match cmd {
                 Command::Send { to, msg } => {
                     assert!(to.index() < self.procs.len(), "send to unknown node {to}");
-                    self.metrics.record_send(me, msg.size_bytes());
-                    self.trace.record(TraceEntry::Send {
-                        at: self.time,
+                    self.st.metrics.record_send(me, msg.size_bytes());
+                    self.st.trace.record(TraceEntry::Send {
+                        at: self.st.time,
                         from: me,
                         to,
                     });
-                    let latency = self.config.latency.sample(&mut self.rng);
-                    let row = self.fifo_last.entry(me).or_default();
+                    let latency = self.config.latency.sample(&mut self.st.rng);
+                    let row = self.st.fifo_last.entry(me).or_default();
                     let at = match row.binary_search_by_key(&to, |&(t, _)| t) {
                         Ok(i) => {
-                            let at = (self.time + latency).max(row[i].1);
+                            let at = (self.st.time + latency).max(row[i].1);
                             row[i].1 = at;
                             at
                         }
                         Err(i) => {
-                            let at = self.time + latency;
+                            let at = self.st.time + latency;
                             row.insert(i, (to, at));
                             at
                         }
@@ -616,8 +663,8 @@ impl<P: Process> Simulation<P> {
     }
 
     fn schedule_notify(&mut self, observer: NodeId, crashed: NodeId) {
-        let latency = self.config.fd_latency.sample(&mut self.rng);
-        let at = self.time + latency;
+        let latency = self.config.fd_latency.sample(&mut self.st.rng);
+        let at = self.st.time + latency;
         self.push(
             at,
             EventKind::Notify {
@@ -628,28 +675,28 @@ impl<P: Process> Simulation<P> {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = self.st.seq;
+        self.st.seq += 1;
         let entry = Entry { at, seq, kind };
         if self.explorer.is_some() {
             // Push order == seq order: `pending` stays sorted by seq.
-            self.pending.push(Some(entry));
-            self.pending_live += 1;
+            self.st.pending.push(Some(entry));
+            self.st.pending_live += 1;
         } else {
-            self.queue.push(entry);
+            self.st.queue.push(entry);
         }
     }
 
     /// `true` if `node` has crashed (per the authoritative schedule, as of
     /// virtual now).
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.crashed[node.index()]
+        self.st.crashed[node.index()]
     }
 
     /// Node ids that never crashed.
     pub fn correct_nodes(&self) -> Vec<NodeId> {
         (0..self.procs.len())
-            .filter(|&i| !self.crashed[i])
+            .filter(|&i| !self.st.crashed[i])
             .map(NodeId::from_index)
             .collect()
     }
@@ -700,12 +747,12 @@ impl<P: Process> Simulation<P> {
 
     /// Accounting for the run so far.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.st.metrics
     }
 
     /// Trace of the run so far.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.st.trace
     }
 
     /// The failure detector's authoritative state.

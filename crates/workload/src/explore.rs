@@ -13,10 +13,10 @@
 //! for any `--jobs` worker count**.
 
 use precipice_runtime::explore as rt;
-use precipice_runtime::{Counterexample, Scenario};
+use precipice_runtime::{check_spec, BatchJob, BatchRunner, Counterexample, Scenario};
 use precipice_sim::{Schedule, SchedulePolicy};
 
-use crate::sweep::{self, Jobs};
+use crate::sweep::{Jobs, SweepSpec};
 
 /// Which exploring policies the budget is spent on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -105,6 +105,11 @@ impl Default for ExploreConfig {
 /// stopping granularity).
 pub const FEED_CHUNK: usize = 128;
 
+/// Probes per lockstep batch wave. Must divide [`FEED_CHUNK`] so the
+/// feed's early-stopping boundaries stay on the exact probe counts the
+/// per-probe scalar feed historically stopped at.
+const WAVE: usize = 16;
+
 /// Compact per-probe observation (full reports never cross the worker
 /// boundary; a violating probe additionally ships its schedule for the
 /// shrinker).
@@ -177,32 +182,54 @@ impl ExploreOutcome {
 /// [module docs](self)).
 pub fn explore_scenario(scenario: &Scenario, cfg: &ExploreConfig, jobs: Jobs) -> ExploreOutcome {
     // Streamed feed: memory tracks the processed prefix, never the raw
-    // budget, so `--budget 4000000000 --stop-after 1` is fine.
+    // budget, so `--budget 4000000000 --stop-after 1` is fine. The feed
+    // unit is one lockstep *wave* of `WAVE` probes through a per-worker
+    // [`BatchRunner`] (slot arenas reused across every wave the worker
+    // claims); per-probe results are bit-identical to scalar
+    // [`rt::probe`] runs by the engine-equivalence contract, and chunk
+    // boundaries land on the same probe counts as the historical
+    // per-probe feed (`FEED_CHUNK % WAVE == 0`), so the digests — and
+    // any early-stopped prefix — are byte-identical to it.
+    const _: () = assert!(FEED_CHUNK.is_multiple_of(WAVE));
     let budget = usize::try_from(cfg.budget.max(1)).unwrap_or(usize::MAX);
-    let probes = sweep::run_until_n(
-        jobs,
-        budget,
-        FEED_CHUNK,
-        |index| {
-            let index = index as u64;
-            let policy = cfg.policy.policy_for(cfg.seed, index);
-            let tag = policy.tag();
-            let p = rt::probe(scenario, policy);
-            let violations = p.violations.len();
-            ProbeDigest {
-                index,
-                policy: tag,
-                trace_hash: p.report.trace_hash,
-                deviations: p.schedule.len(),
-                events: p.report.outcome.events(),
-                violations,
-                schedule: (violations > 0).then_some(p.schedule),
-            }
+    let waves = budget.div_ceil(WAVE);
+    let digests: Vec<Vec<ProbeDigest>> = SweepSpec::new(jobs).chunked(FEED_CHUNK / WAVE).feed_with(
+        waves,
+        || BatchRunner::with_default_policy(scenario, WAVE),
+        |runner, wave| {
+            let lo = wave * WAVE;
+            let hi = lo.saturating_add(WAVE).min(budget);
+            let batch: Vec<BatchJob> = (lo..hi)
+                .map(|index| BatchJob {
+                    seed: scenario.sim.seed,
+                    policy: cfg.policy.policy_for(cfg.seed, index as u64),
+                })
+                .collect();
+            runner
+                .run(&batch)
+                .into_iter()
+                .zip(&batch)
+                .zip(lo..hi)
+                .map(|((out, job), index)| {
+                    let violations = check_spec(&out.report).len();
+                    ProbeDigest {
+                        index: index as u64,
+                        policy: job.policy.tag(),
+                        trace_hash: out.report.trace_hash,
+                        deviations: out.schedule.len(),
+                        events: out.report.outcome.events(),
+                        violations,
+                        schedule: (violations > 0).then_some(out.schedule),
+                    }
+                })
+                .collect()
         },
-        |done| {
-            cfg.stop_after > 0 && done.iter().filter(|p| p.violations > 0).count() >= cfg.stop_after
+        |done: &[Vec<ProbeDigest>]| {
+            cfg.stop_after > 0
+                && done.iter().flatten().filter(|p| p.violations > 0).count() >= cfg.stop_after
         },
     );
+    let probes: Vec<ProbeDigest> = digests.into_iter().flatten().collect();
 
     // Shrink the earliest violating probes, serially and in probe order
     // (the parallel phase is over; shrinking is replay-bound anyway).
@@ -295,6 +322,31 @@ mod tests {
                 .collect()
         };
         assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// The reroute through the lockstep batch runner must not change a
+    /// single digest field relative to per-probe scalar runs — the
+    /// byte-identity half of the engine-equivalence contract, checked
+    /// at the explorer's own observation granularity. 21 probes: a full
+    /// wave, a ragged tail, and the FIFO baseline.
+    #[test]
+    fn batched_feed_matches_per_probe_scalar_runs() {
+        let s = scenario(false);
+        let cfg = ExploreConfig {
+            budget: 21,
+            seed: 5,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore_scenario(&s, &cfg, Jobs::serial());
+        assert_eq!(outcome.schedules(), 21);
+        for p in &outcome.probes {
+            let probe = rt::probe(&s, cfg.policy.policy_for(cfg.seed, p.index));
+            assert_eq!(p.policy, cfg.policy.policy_for(cfg.seed, p.index).tag());
+            assert_eq!(p.trace_hash, probe.report.trace_hash, "probe {}", p.index);
+            assert_eq!(p.deviations, probe.schedule.len());
+            assert_eq!(p.events, probe.report.outcome.events());
+            assert_eq!(p.violations, probe.violations.len());
+        }
     }
 
     #[test]

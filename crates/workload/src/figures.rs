@@ -243,7 +243,7 @@ fn fig_sim(seed: u64) -> SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use precipice_runtime::check_spec;
+    use precipice_runtime::{check_spec, Exec};
 
     #[test]
     fn figure1_borders_match_the_paper() {
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn figure1a_two_local_agreements() {
         let fig = Figure1::new();
-        let report = fig.scenario_a(7).run();
+        let report = fig.scenario_a(7).exec(Exec::new()).report;
         assert!(check_spec(&report).is_empty());
         let regions = report.decided_regions();
         assert_eq!(regions, vec![fig.f1.clone(), fig.f2.clone()]);
@@ -287,7 +287,10 @@ mod tests {
         let fig = Figure1::new();
         for seed in 0..5u64 {
             // paris crashes right in the agreement window.
-            let report = fig.scenario_b(seed, SimTime::from_millis(6)).run();
+            let report = fig
+                .scenario_b(seed, SimTime::from_millis(6))
+                .exec(Exec::new())
+                .report;
             let violations = check_spec(&report);
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
             // Whatever the interleaving, any decision about the west
@@ -318,7 +321,7 @@ mod tests {
     fn figure2_scenario_satisfies_spec() {
         let fig = Figure2::new(3, 2);
         let scenario = fig.scenario(11, CrashTiming::Simultaneous(SimTime::from_millis(1)));
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         let violations = check_spec(&report);
         assert!(violations.is_empty(), "{violations:?}");
         assert!(!report.decisions.is_empty());
@@ -328,7 +331,7 @@ mod tests {
     fn figure3_never_overlaps() {
         for seed in 0..4u64 {
             let (scenario, full) = figure3_scenario(6, 3, SimTime::from_millis(4), seed);
-            let report = scenario.run();
+            let report = scenario.exec(Exec::new()).report;
             let violations = check_spec(&report);
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
             for region in report.decided_regions() {

@@ -2,23 +2,42 @@
 //!
 //! Every figure and experiment in the evaluation is a *sweep*: run one
 //! crash scenario over many seeds/delays/sizes and aggregate the rows.
-//! [`run`] shards those jobs across worker threads while keeping the
-//! output bit-for-bit identical to a sequential run.
+//! A [`SweepSpec`] shards those jobs across worker threads while
+//! keeping the output bit-for-bit identical to a sequential run. It
+//! subsumes what used to be three entry points (`run`, `run_until`,
+//! `run_until_n`, kept as deprecated wrappers) behind one budgeted
+//! spec, so batch-engine job kinds slot in without a fourth:
+//!
+//! - [`SweepSpec::map`] — full sweep over an input slice;
+//! - [`SweepSpec::map_until`] — chunked feed with early stopping;
+//! - [`SweepSpec::feed`] — streamed index feed `0..budget` (memory
+//!   tracks the processed prefix, never the raw budget);
+//! - the `*_with` variants ([`SweepSpec::map_with`],
+//!   [`SweepSpec::feed_with`]) give each worker reusable private state
+//!   (e.g. a `BatchRunner` whose slot arenas persist across the jobs
+//!   that worker claims).
 //!
 //! # Determinism contract
 //!
 //! The engine guarantees that for any worker count the returned vector
-//! is **identical** to `inputs.iter().enumerate().map(f).collect()`:
+//! is **identical** to the sequential `(0..n).map(job).collect()`:
 //!
 //! - **Per-job seeding.** A job receives only its index and its input
 //!   and must derive all randomness from them (each job builds and
 //!   seeds its own `Simulation`); jobs must not share mutable state or
-//!   consult global RNGs, clocks, or thread identity.
+//!   consult global RNGs, clocks, or thread identity. Worker state from
+//!   a `*_with` initializer may cache *allocations*, never *results*:
+//!   `job(&mut state, i, x)` must return the same value regardless of
+//!   which jobs the state served before.
 //! - **Order-stable merge.** Workers pull job indices from a shared
 //!   atomic counter and stamp each result with its index; the engine
 //!   merges results back in job-index order, so aggregation code
 //!   downstream sees rows in exactly the sequential order no matter
 //!   which worker computed them or how the scheduler interleaved.
+//! - **Worker-independent stopping.** Early stopping happens on fixed
+//!   chunk boundaries that depend only on the chunk size and the
+//!   budget — never on the worker count — so the processed prefix is
+//!   identical for any `--jobs`.
 //!
 //! Under that contract, report binaries produce byte-identical tables
 //! for `--jobs 1` and `--jobs N` — CI diffs the two outputs to keep the
@@ -27,11 +46,14 @@
 //! # Example
 //!
 //! ```
-//! use precipice_workload::sweep::{self, Jobs};
+//! use precipice_workload::sweep::{Jobs, SweepSpec};
 //!
 //! let seeds: Vec<u64> = (0..32).collect();
-//! let rows = sweep::run(Jobs::new(4), &seeds, |i, &seed| (i, seed * seed));
-//! assert_eq!(rows, sweep::run(Jobs::serial(), &seeds, |i, &seed| (i, seed * seed)));
+//! let rows = SweepSpec::new(Jobs::new(4)).map(&seeds, |i, &seed| (i, seed * seed));
+//! assert_eq!(
+//!     rows,
+//!     SweepSpec::new(Jobs::serial()).map(&seeds, |i, &seed| (i, seed * seed))
+//! );
 //! ```
 
 use std::num::NonZeroUsize;
@@ -120,24 +142,143 @@ impl Jobs {
     }
 }
 
-/// Runs `job(index, &inputs[index])` for every input, sharded across
-/// `jobs` scoped worker threads, and returns the results **in input
-/// order** — byte-identical to the sequential run (see the
-/// [module docs](self) for the determinism contract).
-///
-/// Workers claim indices from an atomic counter, so long and short jobs
-/// balance without any static partitioning. A panicking job propagates
-/// to the caller.
-pub fn run<I, T, F>(jobs: Jobs, inputs: &[I], job: F) -> Vec<T>
+/// A budgeted sweep specification: worker count plus the feed's chunk
+/// granularity. See the [module docs](self) for the determinism
+/// contract every method upholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSpec {
+    jobs: Jobs,
+    chunk: Option<NonZeroUsize>,
+}
+
+impl SweepSpec {
+    /// A spec running on `jobs` workers with no early-stopping
+    /// granularity (the whole budget is one chunk).
+    pub fn new(jobs: Jobs) -> Self {
+        SweepSpec { jobs, chunk: None }
+    }
+
+    /// Sets the feed chunk size (`0` is clamped to 1): `stop` callbacks
+    /// fire on multiples of `chunk` processed jobs, and the streamed
+    /// [`feed`](Self::feed) materializes only one chunk of indices at a
+    /// time.
+    pub fn chunked(mut self, chunk: usize) -> Self {
+        self.chunk = Some(NonZeroUsize::new(chunk.max(1)).expect("max(1) is non-zero"));
+        self
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> Jobs {
+        self.jobs
+    }
+
+    /// Runs `job(index, &inputs[index])` for every input, sharded
+    /// across the workers, and returns the results **in input order** —
+    /// byte-identical to the sequential run. Workers claim indices from
+    /// an atomic counter, so long and short jobs balance without any
+    /// static partitioning. A panicking job propagates to the caller.
+    pub fn map<I, T, F>(&self, inputs: &[I], job: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.map_with(inputs, || (), move |(), i, x| job(i, x))
+    }
+
+    /// [`map`](Self::map) with per-worker state: each worker calls
+    /// `init()` once and threads the value through every job it claims
+    /// — the hook that lets a batch runner reuse its slot arenas across
+    /// a whole sweep. State may cache allocations, never results (see
+    /// the module docs).
+    pub fn map_with<I, W, T, G, F>(&self, inputs: &[I], init: G, job: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        G: Fn() -> W + Sync,
+        F: Fn(&mut W, usize, &I) -> T + Sync,
+    {
+        run_core(self.jobs, inputs, &init, &job)
+    }
+
+    /// Chunked feed over an input slice: runs `job` chunk by chunk,
+    /// calling `stop` on the merged results after every chunk and
+    /// cutting the feed short when it returns `true`. Returns the
+    /// processed prefix, in input order; the prefix is identical for
+    /// any worker count.
+    pub fn map_until<I, T, F, S>(&self, inputs: &[I], job: F, stop: S) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        S: FnMut(&[T]) -> bool,
+    {
+        let job = &job;
+        self.feed_with(inputs.len(), || (), move |(), i| job(i, &inputs[i]), stop)
+    }
+
+    /// Streamed index feed over `0..budget`: only one chunk of indices
+    /// is materialized at a time, so an enormous budget with an early
+    /// `stop` costs memory proportional to the processed prefix, never
+    /// to the budget.
+    pub fn feed<T, F, S>(&self, budget: usize, job: F, stop: S) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        S: FnMut(&[T]) -> bool,
+    {
+        let job = &job;
+        self.feed_with(budget, || (), move |(), i| job(i), stop)
+    }
+
+    /// [`feed`](Self::feed) with per-worker state (see
+    /// [`map_with`](Self::map_with)). Worker threads — and therefore
+    /// their state — live for one chunk: state is re-initialized at
+    /// every chunk boundary, which is irrelevant for correctness (state
+    /// must never affect results) and amortizes fine for chunks of many
+    /// jobs.
+    pub fn feed_with<W, T, G, F, S>(&self, budget: usize, init: G, job: F, mut stop: S) -> Vec<T>
+    where
+        T: Send,
+        G: Fn() -> W + Sync,
+        F: Fn(&mut W, usize) -> T + Sync,
+        S: FnMut(&[T]) -> bool,
+    {
+        let chunk = self.chunk.map_or(budget.max(1), NonZeroUsize::get);
+        let mut results: Vec<T> = Vec::new();
+        let mut start = 0usize;
+        while start < budget {
+            let end = start.saturating_add(chunk).min(budget);
+            let indices: Vec<usize> = (start..end).collect();
+            results.extend(run_core(self.jobs, &indices, &init, &|w, _, &i| job(w, i)));
+            if stop(&results) {
+                break;
+            }
+            start = end;
+        }
+        results
+    }
+}
+
+/// The shared worker engine behind every [`SweepSpec`] method: shard
+/// `job(state, index, &inputs[index])` across scoped threads, merge in
+/// index order.
+fn run_core<I, W, T, G, F>(jobs: Jobs, inputs: &[I], init: &G, job: &F) -> Vec<T>
 where
     I: Sync,
     T: Send,
-    F: Fn(usize, &I) -> T + Sync,
+    G: Fn() -> W + Sync,
+    F: Fn(&mut W, usize, &I) -> T + Sync,
 {
     let n = inputs.len();
     let workers = jobs.get().min(n);
     if workers <= 1 {
-        return inputs.iter().enumerate().map(|(i, x)| job(i, x)).collect();
+        let mut state = init();
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| job(&mut state, i, x))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -148,13 +289,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut produced: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        produced.push((i, job(i, &inputs[i])));
+                        produced.push((i, job(&mut state, i, &inputs[i])));
                     }
                     produced
                 })
@@ -175,18 +317,20 @@ where
         .collect()
 }
 
-/// Budgeted job feed: runs `job` over `inputs` in fixed chunks of
-/// `chunk` (sharded across `jobs` workers inside each chunk via
-/// [`run`]), calling `stop` on the merged results after every chunk and
-/// cutting the feed short when it returns `true`. Returns the processed
-/// prefix, in input order.
-///
-/// Chunk boundaries depend only on `chunk` and the input length — never
-/// on the worker count — so the processed prefix (and therefore any
-/// table derived from it) is **byte-identical for any `jobs`**, exactly
-/// like [`run`]. This is what lets the schedule explorer stop a large
-/// budget early on the first counterexample without giving up the
-/// determinism contract.
+/// Runs `job(index, &inputs[index])` for every input, in input order.
+#[deprecated(note = "use `SweepSpec::new(jobs).map(inputs, job)`")]
+pub fn run<I, T, F>(jobs: Jobs, inputs: &[I], job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    SweepSpec::new(jobs).map(inputs, job)
+}
+
+/// Budgeted job feed over an input slice with early stopping on chunk
+/// boundaries.
+#[deprecated(note = "use `SweepSpec::new(jobs).chunked(chunk).map_until(inputs, job, stop)`")]
 pub fn run_until<I, T, F, S>(jobs: Jobs, inputs: &[I], chunk: usize, job: F, stop: S) -> Vec<T>
 where
     I: Sync,
@@ -194,33 +338,20 @@ where
     F: Fn(usize, &I) -> T + Sync,
     S: FnMut(&[T]) -> bool,
 {
-    run_until_n(jobs, inputs.len(), chunk, |i| job(i, &inputs[i]), stop)
+    SweepSpec::new(jobs)
+        .chunked(chunk)
+        .map_until(inputs, job, stop)
 }
 
-/// [`run_until`] over the index range `0..n` instead of an input slice:
-/// the feed is *streamed* — only one chunk of indices is materialized
-/// at a time, so an enormous budget with an early `stop` costs memory
-/// proportional to the processed prefix, never to `n`. Same determinism
-/// contract as [`run_until`].
-pub fn run_until_n<T, F, S>(jobs: Jobs, n: usize, chunk: usize, job: F, mut stop: S) -> Vec<T>
+/// Streamed budgeted feed over the index range `0..n`.
+#[deprecated(note = "use `SweepSpec::new(jobs).chunked(chunk).feed(n, job, stop)`")]
+pub fn run_until_n<T, F, S>(jobs: Jobs, n: usize, chunk: usize, job: F, stop: S) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
     S: FnMut(&[T]) -> bool,
 {
-    let chunk = chunk.max(1);
-    let mut results: Vec<T> = Vec::new();
-    let mut start = 0usize;
-    while start < n {
-        let end = start.saturating_add(chunk).min(n);
-        let indices: Vec<usize> = (start..end).collect();
-        results.extend(run(jobs, &indices, |_, &i| job(i)));
-        if stop(&results) {
-            break;
-        }
-        start = end;
-    }
-    results
+    SweepSpec::new(jobs).chunked(chunk).feed(n, job, stop)
 }
 
 #[cfg(test)]
@@ -242,8 +373,11 @@ mod tests {
     #[test]
     fn empty_and_single_inputs() {
         let none: Vec<u32> = Vec::new();
-        assert_eq!(run(Jobs::new(8), &none, |_, &x| x), none);
-        assert_eq!(run(Jobs::new(8), &[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+        assert_eq!(SweepSpec::new(Jobs::new(8)).map(&none, |_, &x| x), none);
+        assert_eq!(
+            SweepSpec::new(Jobs::new(8)).map(&[7u32], |i, &x| (i, x)),
+            vec![(0, 7)]
+        );
     }
 
     /// The determinism contract itself: merged output is identical for
@@ -264,8 +398,8 @@ mod tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             format!("{i}:{:x}", z ^ (z >> 31))
         };
-        let serial = run(Jobs::serial(), &inputs, job);
-        let parallel = run(Jobs::new(4), &inputs, job);
+        let serial = SweepSpec::new(Jobs::serial()).map(&inputs, job);
+        let parallel = SweepSpec::new(Jobs::new(4)).map(&inputs, job);
         assert_eq!(serial, parallel);
         // And the order is the input order, not completion order.
         for (i, row) in serial.iter().enumerate() {
@@ -276,20 +410,21 @@ mod tests {
     #[test]
     fn more_workers_than_jobs() {
         let inputs: Vec<u32> = (0..3).collect();
-        assert_eq!(run(Jobs::new(64), &inputs, |_, &x| x * 2), vec![0, 2, 4]);
+        assert_eq!(
+            SweepSpec::new(Jobs::new(64)).map(&inputs, |_, &x| x * 2),
+            vec![0, 2, 4]
+        );
     }
 
     #[test]
-    fn run_until_stops_on_chunk_boundaries_deterministically() {
+    fn map_until_stops_on_chunk_boundaries_deterministically() {
         let inputs: Vec<u32> = (0..100).collect();
         // Stop once any processed result exceeds 41: that happens inside
         // the 5th chunk of 10, so exactly 50 results come back — for any
         // worker count.
         let go = |jobs: Jobs| {
-            run_until(
-                jobs,
+            SweepSpec::new(jobs).chunked(10).map_until(
                 &inputs,
-                10,
                 |i, &x| (i as u32) * 1000 + x,
                 |done| done.iter().any(|&r| r % 1000 > 41),
             )
@@ -303,19 +438,77 @@ mod tests {
     }
 
     #[test]
-    fn run_until_without_stop_processes_everything() {
+    fn feed_without_stop_processes_everything() {
         let inputs: Vec<u32> = (0..23).collect();
-        let all = run_until(Jobs::new(3), &inputs, 7, |_, &x| x, |_| false);
+        let spec = SweepSpec::new(Jobs::new(3)).chunked(7);
+        let all = spec.map_until(&inputs, |_, &x| x, |_| false);
         assert_eq!(all, inputs);
         let none: Vec<u32> = Vec::new();
-        assert_eq!(
-            run_until(Jobs::new(3), &none, 7, |_, &x| x, |_| false),
-            none
-        );
+        assert_eq!(spec.map_until(&none, |_, &x| x, |_| false), none);
         // Zero chunk is clamped, not an infinite loop.
         assert_eq!(
-            run_until(Jobs::serial(), &inputs, 0, |_, &x| x, |_| false),
+            SweepSpec::new(Jobs::serial())
+                .chunked(0)
+                .map_until(&inputs, |_, &x| x, |_| false),
             inputs
+        );
+        // Unchunked feed runs the whole budget in one go.
+        assert_eq!(
+            SweepSpec::new(Jobs::new(2)).feed(5, |i| i * i, |_| true),
+            vec![0, 1, 4, 9, 16],
+            "stop can only fire on a chunk boundary, and the only one is the end"
+        );
+    }
+
+    /// Worker state caches allocations without perturbing results: a
+    /// scratch buffer reused across every job a worker claims.
+    #[test]
+    fn worker_state_reuses_allocations_without_changing_results() {
+        let inputs: Vec<u64> = (0..41).collect();
+        let go = |jobs: Jobs| {
+            SweepSpec::new(jobs).map_with(&inputs, Vec::<u64>::new, |scratch, i, &seed| {
+                scratch.clear();
+                scratch.extend((0..=seed).map(|v| v * v));
+                (i, scratch.iter().sum::<u64>())
+            })
+        };
+        let serial = go(Jobs::serial());
+        assert_eq!(serial, go(Jobs::new(4)));
+        assert_eq!(serial[3], (3, 1 + 4 + 9));
+
+        // And the chunked feed variant: state is per-worker-per-chunk.
+        let fed = SweepSpec::new(Jobs::new(2)).chunked(5).feed_with(
+            11,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                i * 10
+            },
+            |_| false,
+        );
+        assert_eq!(fed, (0..11).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_spec() {
+        let inputs: Vec<u32> = (0..30).collect();
+        assert_eq!(
+            run(Jobs::new(3), &inputs, |i, &x| i as u32 + x),
+            SweepSpec::new(Jobs::new(3)).map(&inputs, |i, &x| i as u32 + x)
+        );
+        let stop = |done: &[u32]| done.len() >= 10;
+        assert_eq!(
+            run_until(Jobs::new(2), &inputs, 5, |_, &x| x, stop),
+            SweepSpec::new(Jobs::new(2))
+                .chunked(5)
+                .map_until(&inputs, |_, &x| x, stop)
+        );
+        assert_eq!(
+            run_until_n(Jobs::new(2), 17, 4, |i| i + 1, |_| false),
+            SweepSpec::new(Jobs::new(2))
+                .chunked(4)
+                .feed(17, |i| i + 1, |_| false)
         );
     }
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use precipice::graph::{torus, GridDims, Region};
-use precipice::runtime::{check_spec, Scenario};
+use precipice::runtime::{check_spec, Exec, Scenario};
 use precipice::sim::SimTime;
 use precipice::workload::patterns::{bfs_ball, line_region, schedule, CrashTiming};
 use precipice::workload::table::{fmt_num, Table};
@@ -41,7 +41,7 @@ fn main() {
         .crashes(crashes)
         .seed(23)
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
 

@@ -8,7 +8,7 @@
 
 use precipice::consensus::View;
 use precipice::graph::Region;
-use precipice::runtime::check_spec;
+use precipice::runtime::{check_spec, Exec};
 use precipice::sim::SimTime;
 use precipice::workload::figures::Figure1;
 
@@ -42,7 +42,7 @@ fn main() {
 
     // --- Figure 1(a): two independent local agreements -----------------
     println!("== Figure 1(a): F1 and F2 crash ==");
-    let report = fig.scenario_a(7).run();
+    let report = fig.scenario_a(7).exec(Exec::new()).report;
     print_decisions(&fig, &report.decisions);
     let madrid = g.node_by_label("madrid").unwrap();
     let vancouver = g.node_by_label("vancouver").unwrap();
@@ -60,7 +60,10 @@ fn main() {
 
     // --- Figure 1(b): paris crashes mid-agreement ----------------------
     println!("== Figure 1(b): paris crashes 6ms into the F1 agreement ==");
-    let report = fig.scenario_b(7, SimTime::from_millis(6)).run();
+    let report = fig
+        .scenario_b(7, SimTime::from_millis(6))
+        .exec(Exec::new())
+        .report;
     print_decisions(&fig, &report.decisions);
     let f3_border: Vec<String> = g
         .border_of(fig.f3.iter())

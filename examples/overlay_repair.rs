@@ -13,7 +13,7 @@
 
 use precipice::consensus::{DecisionPolicy, View, WireSize};
 use precipice::graph::{ring, GraphBuilder, NodeId, Region};
-use precipice::runtime::{check_spec, Scenario};
+use precipice::runtime::{check_spec, Exec, Scenario};
 use precipice::sim::SimTime;
 
 /// The agreed recovery action: a coordinator plus the overlay links to
@@ -67,7 +67,9 @@ fn main() {
         .crashes(failed.iter().map(|p| (p, SimTime::from_millis(1))))
         .seed(11)
         .build();
-    let report = scenario.run_with_policy(|_| RingRepairPolicy);
+    let report = scenario
+        .exec(Exec::new().decide_with(|_| RingRepairPolicy))
+        .report;
     assert!(check_spec(&report).is_empty());
 
     let mut plans = report.decisions.values().map(|d| &d.value);

@@ -9,7 +9,7 @@
 //! ```
 
 use precipice::graph::{torus, GridDims, NodeId};
-use precipice::runtime::{check_spec, Scenario};
+use precipice::runtime::{check_spec, Exec, Scenario};
 use precipice::sim::SimTime;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         .build();
 
     // 3. Run to quiescence on the deterministic simulator.
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
 
     // 4. Inspect: every node bordering {27, 28} decided the same view
     //    and the same coordinator.

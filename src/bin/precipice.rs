@@ -30,12 +30,12 @@ use std::process::ExitCode;
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::{to_dot, Graph, GridDims, NodeId, Region};
 use precipice::runtime::explore::{probe, render_violations, Artifact};
-use precipice::runtime::{check_spec, MulticastMode, RunDigest, RunReport, Scenario};
+use precipice::runtime::{check_spec, Exec, MulticastMode, RunDigest, RunReport, Scenario};
 use precipice::sim::{LatencyModel, SchedulePolicy, SimConfig, SimTime};
 use precipice::workload::explore::{explore_scenario, ExploreConfig, PolicyMix};
 use precipice::workload::patterns::{bfs_ball, blob_of_size, line_region, schedule, CrashTiming};
 use precipice::workload::stats::summarize;
-use precipice::workload::sweep::{self, Jobs};
+use precipice::workload::sweep::{Jobs, SweepSpec};
 use precipice::workload::table::{fmt_num, Table};
 
 const USAGE: &str = "\
@@ -324,7 +324,9 @@ fn run(opts: &Options) -> Result<bool, String> {
     if opts.runs > 1 {
         let jobs = opts.jobs.map(Jobs::new).unwrap_or_else(Jobs::from_env);
         let seeds: Vec<u64> = (0..opts.runs).map(|i| opts.seed.wrapping_add(i)).collect();
-        let digests = sweep::run(jobs, &seeds, |_, &seed| build(seed).run().digest());
+        let digests = SweepSpec::new(jobs).map(&seeds, |_, &seed| {
+            build(seed).exec(Exec::new()).report.digest()
+        });
         return Ok(print_sweep(opts, &graph, &region, &seeds, &digests));
     }
     if opts.jobs.is_some() {
@@ -332,7 +334,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         eprintln!("note: --jobs has no effect on a single run; combine it with --runs <k>");
     }
 
-    let report = build(opts.seed).run();
+    let report = build(opts.seed).exec(Exec::new()).report;
     print_single(opts, &graph, &region, &report)
 }
 

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use precipice::graph::{torus, GridDims, NodeId};
-//! use precipice::runtime::{check_spec, Scenario};
+//! use precipice::runtime::{check_spec, Exec, Scenario};
 //! use precipice::sim::SimTime;
 //!
 //! // An 8x8 torus in which a 2-node region crashes.
@@ -32,7 +32,7 @@
 //!     .crash(NodeId(10), SimTime::from_millis(3))
 //!     .seed(1)
 //!     .build();
-//! let report = scenario.run();
+//! let report = scenario.exec(Exec::new()).report;
 //!
 //! // The border of the crashed region agreed on its extent...
 //! assert!(!report.decisions.is_empty());

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use precipice::baseline::{global, gossip, noarb};
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::{torus, GridDims, NodeId};
-use precipice::runtime::Scenario;
+use precipice::runtime::{Exec, Scenario};
 use precipice::sim::{LatencyModel, SimConfig, SimTime};
 use precipice::workload::patterns::bfs_ball;
 
@@ -27,7 +27,7 @@ fn cliff_messages(n: usize, seed: u64) -> u64 {
         .crashes(region.iter().map(|p| (p, SimTime::from_millis(1))))
         .sim_config(sim(seed))
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     assert!(!report.decisions.is_empty());
     report.metrics.messages_sent()
 }
@@ -134,7 +134,7 @@ fn no_arbitration_breaks_on_fast_cascades() {
     let mut ablation_damage = 0usize;
     for seed in 0..6u64 {
         let scenario = base(seed);
-        let full = scenario.run();
+        let full = scenario.exec(Exec::new()).report;
         assert!(
             precipice::runtime::check_spec(&full).is_empty(),
             "full protocol must be clean (seed {seed})"
@@ -160,6 +160,6 @@ fn ablated_protocol_still_works_without_conflicts() {
         .protocol(ProtocolConfig::without_arbitration())
         .sim_config(sim(5))
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     assert!(report.outcome.is_quiescent());
 }

@@ -4,7 +4,7 @@
 
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::{path, ring, star, torus, GridDims, NodeId, Region};
-use precipice::runtime::{check_spec, MulticastMode, Scenario};
+use precipice::runtime::{check_spec, Exec, MulticastMode, Scenario};
 use precipice::sim::{LatencyModel, SimConfig, SimTime};
 
 fn sim(seed: u64) -> SimConfig {
@@ -34,7 +34,7 @@ fn border_node_crash_swept_across_all_phases() {
             .crash(NodeId(15), SimTime::from_millis(t_ms))
             .sim_config(sim(t_ms))
             .build();
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         let violations = check_spec(&report);
         assert!(violations.is_empty(), "t={t_ms}ms: {violations:?}");
         // The merged region {14,15} is connected, so whatever is decided
@@ -59,7 +59,7 @@ fn border_node_crash_swept_with_partial_multicasts() {
             .multicast(MulticastMode::Sequential)
             .sim_config(sim(100 + t_ms))
             .build();
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         let violations = check_spec(&report);
         assert!(violations.is_empty(), "t={t_ms}ms: {violations:?}");
     }
@@ -79,7 +79,7 @@ fn entire_border_crashes_mid_agreement() {
     for &b in &first_ring {
         builder = builder.crash(b, SimTime::from_millis(8));
     }
-    let report = builder.build().run();
+    let report = builder.build().exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
     // The ball (center + ring) is the only decidable region now.
@@ -98,7 +98,7 @@ fn near_total_wipeout_leaves_two_survivors_agreeing() {
     for i in 2..n as u32 {
         builder = builder.crash(NodeId(i), SimTime::from_millis(1 + (i as u64 % 3)));
     }
-    let report = builder.build().run();
+    let report = builder.build().exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
     let dead: Region = (2..n as u32).map(NodeId).collect();
@@ -119,7 +119,7 @@ fn single_survivor_decides_alone() {
     for i in 1..6u32 {
         builder = builder.crash(NodeId(i), SimTime::from_millis(1));
     }
-    let report = builder.build().run();
+    let report = builder.build().exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
     assert_eq!(report.decisions.len(), 1);
@@ -141,7 +141,7 @@ fn star_leaf_wipeout_is_five_domains_one_cluster() {
     for i in 1..6u32 {
         builder = builder.crash(NodeId(i), SimTime::from_millis(1));
     }
-    let report = builder.build().run();
+    let report = builder.build().exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
     // One decision, on a single-leaf region.
@@ -166,7 +166,7 @@ fn decider_crashes_after_deciding() {
         .crash(NodeId(1), SimTime::from_millis(300))
         .sim_config(sim(8))
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
     // Both decided before 1's crash (decisions are recorded even for
@@ -191,7 +191,7 @@ fn two_regions_grow_and_merge() {
         .crash(NodeId(4), SimTime::from_millis(90))
         .sim_config(sim(9))
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{violations:?}");
     // Depending on timing, some sub-regions may have been decided before
@@ -232,7 +232,7 @@ fn extreme_detection_skew() {
                 ProtocolConfig::optimized()
             })
             .build();
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         let violations = check_spec(&report);
         assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }

@@ -3,7 +3,7 @@
 
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::Region;
-use precipice::runtime::{check_spec, faulty_clusters, faulty_domains, Scenario};
+use precipice::runtime::{check_spec, faulty_clusters, faulty_domains, Exec, Scenario};
 use precipice::sim::SimTime;
 use precipice::workload::figures::{figure3_scenario, Figure1, Figure2};
 use precipice::workload::patterns::CrashTiming;
@@ -12,7 +12,7 @@ use precipice::workload::patterns::CrashTiming;
 fn figure1a_independent_agreements_with_locality() {
     let fig = Figure1::new();
     for seed in 0..8u64 {
-        let report = fig.scenario_a(seed).run();
+        let report = fig.scenario_a(seed).exec(Exec::new()).report;
         assert!(check_spec(&report).is_empty(), "seed {seed}");
         // Exactly F1 and F2 are decided.
         assert_eq!(
@@ -58,7 +58,10 @@ fn figure1b_early_paris_crash_converges_on_f3() {
     // F1 instance cannot complete (paris never proposed), so the west
     // side must converge on F3 with berlin on board.
     for seed in 0..8u64 {
-        let report = fig.scenario_b(seed, SimTime::from_millis(2)).run();
+        let report = fig
+            .scenario_b(seed, SimTime::from_millis(2))
+            .exec(Exec::new())
+            .report;
         assert!(check_spec(&report).is_empty(), "seed {seed}");
         let regions = report.decided_regions();
         assert!(
@@ -80,7 +83,10 @@ fn figure1b_late_paris_crash_lets_f1_complete() {
     // the grown region may then starve (weak progress) — but the spec
     // still holds and the F2 agreement is untouched.
     for seed in 0..8u64 {
-        let report = fig.scenario_b(seed, SimTime::from_millis(200)).run();
+        let report = fig
+            .scenario_b(seed, SimTime::from_millis(200))
+            .exec(Exec::new())
+            .report;
         assert!(check_spec(&report).is_empty(), "seed {seed}");
         let regions = report.decided_regions();
         assert!(
@@ -102,7 +108,8 @@ fn figure2_chain_is_one_cluster_and_progresses() {
 
         let report = fig
             .scenario(3, CrashTiming::Simultaneous(SimTime::from_millis(1)))
-            .run();
+            .exec(Exec::new())
+            .report;
         let violations = check_spec(&report);
         assert!(violations.is_empty(), "k={k}: {violations:?}");
         // Cluster-level progress: at least one domain decided.
@@ -126,7 +133,7 @@ fn figure3_sweep_never_overlaps() {
             for seed in 0..6u64 {
                 let (scenario, full) =
                     figure3_scenario(6, growth, SimTime::from_millis(delay_ms), seed);
-                let report = scenario.run();
+                let report = scenario.exec(Exec::new()).report;
                 let violations = check_spec(&report);
                 assert!(
                     violations.is_empty(),
@@ -154,13 +161,13 @@ fn figure_scenarios_hold_under_optimizations() {
     ] {
         let mut scenario = fig.scenario_b(5, SimTime::from_millis(4));
         scenario.protocol = config;
-        let report = scenario.run();
+        let report = scenario.exec(Exec::new()).report;
         assert!(check_spec(&report).is_empty(), "{config:?}");
     }
     let fig2 = Figure2::new(4, 1);
     let mut scenario = fig2.scenario(9, CrashTiming::Simultaneous(SimTime::from_millis(1)));
     scenario.protocol = ProtocolConfig::optimized();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     assert!(check_spec(&report).is_empty());
 }
 
@@ -172,7 +179,8 @@ fn figure2_shared_border_nodes_champion_one_domain() {
     let fig = Figure2::new(2, 2);
     let report = fig
         .scenario(1, CrashTiming::Simultaneous(SimTime::from_millis(1)))
-        .run();
+        .exec(Exec::new())
+        .report;
     assert!(check_spec(&report).is_empty());
     // The separator borders both domains.
     let separator = precipice::graph::NodeId(3);
@@ -207,7 +215,7 @@ fn custom_scenario_domains_merge_when_separator_dies() {
         .crashes(crashes)
         .seed(2)
         .build();
-    let report = scenario.run();
+    let report = scenario.exec(Exec::new()).report;
     assert!(check_spec(&report).is_empty());
     let merged: Region = fig
         .domains

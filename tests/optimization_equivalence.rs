@@ -5,7 +5,7 @@
 
 use precipice::consensus::ProtocolConfig;
 use precipice::graph::{star, torus, GridDims, NodeId};
-use precipice::runtime::{check_spec, RunReport, Scenario};
+use precipice::runtime::{check_spec, Exec, RunReport, Scenario};
 use precipice::sim::SimTime;
 use precipice::workload::patterns::bfs_ball;
 
@@ -24,7 +24,7 @@ fn configs() -> [(&'static str, ProtocolConfig); 4] {
 fn run(scenario: &Scenario, config: ProtocolConfig) -> RunReport<NodeId> {
     let mut s = scenario.clone();
     s.protocol = config;
-    let report = s.run();
+    let report = s.exec(Exec::new()).report;
     let violations = check_spec(&report);
     assert!(violations.is_empty(), "{config:?}: {violations:?}");
     report

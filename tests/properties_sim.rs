@@ -16,7 +16,7 @@ use precipice::graph::{
     erdos_renyi_connected, random_geometric_connected, random_tree, ring, torus, Graph, GridDims,
     NodeId,
 };
-use precipice::runtime::{check_spec, MulticastMode, Scenario};
+use precipice::runtime::{check_spec, Exec, MulticastMode, Scenario};
 use precipice::sim::{LatencyModel, SimConfig, SimTime};
 
 /// A reproducible scenario recipe; everything derives from these knobs.
@@ -148,7 +148,7 @@ fn run_recipe(recipe: &Recipe) -> (usize, Vec<String>) {
         };
         builder = builder.crash(node, at);
     }
-    let report = builder.build().run();
+    let report = builder.build().exec(Exec::new()).report;
     let violations = check_spec(&report);
     (
         report.decisions.len(),
