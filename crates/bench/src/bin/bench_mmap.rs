@@ -1,0 +1,220 @@
+//! Report binary: what the `.pcsr` zero-copy topology store buys.
+//!
+//! For each torus size the binary measures, honestly and from cold:
+//!
+//! - **stream_build_ms** — the one-time two-pass streaming build of the
+//!   `.pcsr` file (any stale cache file is deleted first, so this is a
+//!   real build, not a cache hit);
+//! - **open_ms** — median of several [`Graph::open_pcsr`] calls: the
+//!   per-process cost of the topology once the file exists. This is the
+//!   number that must stay in the microseconds regardless of N;
+//! - **owned_build_ms** — the in-memory `torus_of` build the store
+//!   replaces (skipped at 10⁸ nodes, where it is the point of failure);
+//! - **mapped_run_ms / owned_run_ms** — per-run lazy consensus cost on
+//!   each storage, same seeds, trace hashes asserted identical;
+//! - the **amortized** per-run cost over `RUNS_PER_SIZE` runs: mapped
+//!   pays `open + run` per process after a once-per-machine build, while
+//!   the owned model pays `build + run` in every process.
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_mmap -- \
+//!     [--test] [--json PATH]`
+//!
+//! - `--test`: tiny sizes — CI smoke mode.
+//!
+//! Writes `BENCH_mmap.json` by default.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
+use precipice_core::ProtocolConfig;
+use precipice_graph::{stream_torus, Graph, GridDims, MappedGraph};
+use precipice_runtime::{Exec, Scenario};
+use precipice_workload::patterns::schedule;
+use precipice_workload::sweep::Jobs;
+
+/// Seeds per size; also the run count the amortization is quoted over.
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Sizes above this skip the owned arm: an in-memory build there is the
+/// regime the store exists to escape (at 10⁸ the owned CSR alone is
+/// ~2 GB of heap and tens of seconds of build).
+const OWNED_CAP: usize = 1 << 24;
+
+struct MmapRow {
+    n: usize,
+    file_bytes: u64,
+    stream_build_ms: f64,
+    open_ms: f64,
+    owned_build_ms: Option<f64>,
+    mapped_run_ms: f64,
+    owned_run_ms: Option<f64>,
+}
+
+fn scenario_for(graph: Graph, seed: u64) -> Scenario {
+    let region = carve_region(&graph, RegionShape::Blob, 8);
+    Scenario::builder(graph)
+        .name("mmap")
+        .crashes(schedule(
+            region.iter(),
+            precipice_workload::patterns::CrashTiming::Simultaneous(
+                precipice_sim::SimTime::from_millis(1),
+            ),
+        ))
+        .protocol(ProtocolConfig::default())
+        .sim_config(experiment_sim(seed, false))
+        .build()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    let test_mode = has("--test");
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_mmap.json".to_owned());
+
+    let sizes: Vec<usize> = if test_mode {
+        vec![1024, 4096]
+    } else {
+        vec![65_536, 1 << 20, 1 << 24, 100_000_000]
+    };
+    let dir = std::env::temp_dir().join("precipice-pcsr-cache");
+    std::fs::create_dir_all(&dir).expect("create .pcsr cache dir");
+
+    let mut rows: Vec<MmapRow> = Vec::new();
+    println!(
+        "{:>11} {:>11} {:>13} {:>9} {:>13} {:>14} {:>13}",
+        "N", "file MB", "stream build", "open ms", "owned build", "mapped run ms", "owned run ms"
+    );
+    for &n in &sizes {
+        let side = (n as f64).sqrt().ceil().max(3.0) as usize;
+        let file = dir.join(format!("torus-{side}x{side}.pcsr"));
+        // Cold build: measure the real streaming write, not a cache hit.
+        let _ = std::fs::remove_file(&file);
+        let started = Instant::now();
+        let summary = stream_torus(GridDims::square(side), &file).expect("stream torus");
+        let stream_build_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+        let mut opens: Vec<f64> = (0..5)
+            .map(|_| {
+                let started = Instant::now();
+                let g = Graph::open_pcsr(&file).expect("open .pcsr");
+                let ms = started.elapsed().as_secs_f64() * 1000.0;
+                assert_eq!(g.len(), summary.n);
+                ms
+            })
+            .collect();
+        let open_ms = median(&mut opens);
+        MappedGraph::open(&file)
+            .expect("reopen")
+            .verify()
+            .expect("checksum");
+
+        let owned = (n <= OWNED_CAP).then(|| {
+            let started = Instant::now();
+            let g = torus_of(n);
+            (g, started.elapsed().as_secs_f64() * 1000.0)
+        });
+
+        let mapped = Graph::open_pcsr(&file).expect("open .pcsr");
+        let mut mapped_runs: Vec<f64> = Vec::new();
+        let mut owned_runs: Vec<f64> = Vec::new();
+        for &seed in &SEEDS {
+            let started = Instant::now();
+            let report = scenario_for(mapped.clone(), seed).exec(Exec::new()).report;
+            mapped_runs.push(started.elapsed().as_secs_f64() * 1000.0);
+            assert!(report.outcome.is_quiescent() && !report.decisions.is_empty());
+            if let Some((g, _)) = &owned {
+                let started = Instant::now();
+                let owned_report = scenario_for(g.clone(), seed).exec(Exec::new()).report;
+                owned_runs.push(started.elapsed().as_secs_f64() * 1000.0);
+                assert_eq!(
+                    owned_report.trace_hash, report.trace_hash,
+                    "storage changed the schedule at n={n} seed={seed}"
+                );
+            }
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let row = MmapRow {
+            n: summary.n,
+            file_bytes: summary.file_bytes,
+            stream_build_ms,
+            open_ms,
+            owned_build_ms: owned.as_ref().map(|(_, ms)| *ms),
+            mapped_run_ms: mean(&mapped_runs),
+            owned_run_ms: (!owned_runs.is_empty()).then(|| mean(&owned_runs)),
+        };
+        println!(
+            "{:>11} {:>11.1} {:>13.1} {:>9.3} {:>13} {:>14.2} {:>13}",
+            row.n,
+            row.file_bytes as f64 / (1 << 20) as f64,
+            row.stream_build_ms,
+            row.open_ms,
+            row.owned_build_ms
+                .map_or("—".to_owned(), |ms| format!("{ms:.1}")),
+            row.mapped_run_ms,
+            row.owned_run_ms
+                .map_or("—".to_owned(), |ms| format!("{ms:.2}")),
+        );
+        rows.push(row);
+    }
+
+    // Amortization summary: per-run cost over SEEDS.len() runs when the
+    // build is paid once (mapped) vs in every process (owned).
+    println!("\namortized per-run over {} runs:", SEEDS.len());
+    for r in &rows {
+        let mapped = r.open_ms + r.mapped_run_ms;
+        match (r.owned_build_ms, r.owned_run_ms) {
+            (Some(build), Some(run)) => println!(
+                "  n={:>11}: mapped {mapped:.2} ms vs owned {:.2} ms ({:.0}x)",
+                r.n,
+                build + run,
+                (build + run) / mapped
+            ),
+            _ => println!(
+                "  n={:>11}: mapped {mapped:.2} ms (owned arm skipped: build dominates)",
+                r.n
+            ),
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-mmap/1\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", Jobs::available().get());
+    let _ = writeln!(json, "  \"test_mode\": {test_mode},");
+    let _ = writeln!(json, "  \"runs_per_size\": {},", SEEDS.len());
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"file_bytes\": {}, \"stream_build_ms\": {:.1}, \
+             \"open_ms\": {:.3}, \"owned_build_ms\": {}, \"mapped_run_ms\": {:.2}, \
+             \"owned_run_ms\": {}}}",
+            r.n,
+            r.file_bytes,
+            r.stream_build_ms,
+            r.open_ms,
+            r.owned_build_ms
+                .map_or("null".to_owned(), |ms| format!("{ms:.1}")),
+            r.mapped_run_ms,
+            r.owned_run_ms
+                .map_or("null".to_owned(), |ms| format!("{ms:.2}")),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

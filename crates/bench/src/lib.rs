@@ -66,6 +66,37 @@ pub fn torus_of(n: usize) -> Graph {
     torus(GridDims::square(side))
 }
 
+/// Path of the cached `.pcsr` file for the [`torus_of`] topology of at
+/// least `n` nodes, streaming it to disk on first use.
+///
+/// The cache lives under the system temp dir and is validated on every
+/// call (a corrupt or truncated file is rebuilt, not trusted), so
+/// experiment rows at sizes where an in-memory build would dominate —
+/// the 10⁸-node E4 row — pay the two-pass streaming build exactly once
+/// per machine and microseconds per subsequent open.
+pub fn cached_torus_pcsr(n: usize) -> std::path::PathBuf {
+    let side = (n as f64).sqrt().ceil().max(3.0) as usize;
+    let dir = std::env::temp_dir().join("precipice-pcsr-cache");
+    std::fs::create_dir_all(&dir).expect("create .pcsr cache dir");
+    let file = dir.join(format!("torus-{side}x{side}.pcsr"));
+    let usable = precipice_graph::MappedGraph::open(&file)
+        .and_then(|m| m.verify())
+        .is_ok();
+    if !usable {
+        precipice_graph::stream_torus(GridDims::square(side), &file)
+            .unwrap_or_else(|e| panic!("cannot stream torus cache {}: {e}", file.display()));
+    }
+    file
+}
+
+/// The [`torus_of`] topology served zero-copy from the `.pcsr` cache
+/// ([`cached_torus_pcsr`]); adjacency is bit-identical to `torus_of(n)`.
+pub fn mapped_torus_of(n: usize) -> Graph {
+    let file = cached_torus_pcsr(n);
+    Graph::open_pcsr(&file)
+        .unwrap_or_else(|e| panic!("cannot open torus cache {}: {e}", file.display()))
+}
+
 /// The shape of a crashed region for E5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionShape {

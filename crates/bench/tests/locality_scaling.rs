@@ -1,0 +1,56 @@
+//! Regression guard for the footprint-proportional execution contract:
+//! a lazy (activation-gated) run's wall time must not scale with N when
+//! the crashed region — and therefore the active footprint — is fixed.
+//!
+//! Before the lazy-run fix the per-run cost hid an O(N) term (per-run
+//! allocation and scanning of full-size node tables), and the measured
+//! 2¹⁰ → 2²⁰ per-run ratio was ~44×. After the fix the dominant
+//! remaining per-run O(N) is the crashed-flag vector, which at 2²⁰ is a
+//! 1 MB memset — noise. The bound here is deliberately loose (CI
+//! machines jitter, debug builds shift constants) but far below the
+//! broken regime: a reintroduced O(N) scan shows up as a 40×+ ratio and
+//! fails loudly.
+
+use precipice_bench::{carve_region, measure_cliff_edge, simultaneous, torus_of, RegionShape};
+use precipice_core::ProtocolConfig;
+use std::time::Instant;
+
+/// Median-of-3 per-run wall time (seconds) for a fixed 8-node blob crash
+/// on a torus of `n` nodes. The graph is built once outside the timed
+/// region — this test is about per-run cost, not build cost.
+fn lazy_run_seconds(n: usize) -> f64 {
+    let graph = torus_of(n);
+    let region = carve_region(&graph, RegionShape::Blob, 8);
+    let mut times: Vec<f64> = (0..3)
+        .map(|seed| {
+            let started = Instant::now();
+            let (cost, _) = measure_cliff_edge(
+                graph.clone(),
+                &region,
+                simultaneous(),
+                ProtocolConfig::default(),
+                seed,
+            );
+            assert!(cost.decisions > 0, "run at n={n} seed={seed} undecided");
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[1]
+}
+
+#[test]
+fn lazy_run_time_stays_flat_as_n_grows_1024x() {
+    let small = lazy_run_seconds(1 << 10);
+    let large = lazy_run_seconds(1 << 20);
+    // Floor the denominator so a sub-millisecond small-N measurement
+    // (release builds) doesn't turn scheduler noise into a huge ratio.
+    let ratio = large / small.max(0.005);
+    assert!(
+        ratio < 15.0,
+        "lazy per-run time scaled with N: {:.2} ms at 2^10 vs {:.2} ms at 2^20 \
+         ({ratio:.1}x; was ~44x before the footprint-proportional fix)",
+        small * 1000.0,
+        large * 1000.0,
+    );
+}

@@ -1,3 +1,4 @@
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use precipice_graph::{NodeId, NodeSet};
@@ -10,9 +11,12 @@ use crate::View;
 /// Algorithm 1, lines 20–22).
 ///
 /// Per-participant membership (who are we waiting for, who rejected, who
-/// has a non-`⊥` entry) is tracked in dense [`NodeSet`] bitsets, so the
-/// round guards evaluated after *every* delivery cost O(border/64) word
-/// operations instead of sorted-set scans.
+/// has a non-`⊥` entry) is tracked in sorted sets sized by the *border*,
+/// never by node-id magnitude: a border of `b` nodes costs O(`b`) per
+/// instance and O(log `b`) per guard probe, even when the ids involved
+/// sit near the top of a multi-million-node id space. (A dense bitset
+/// here would be zeroed and scanned out to the highest border id — an
+/// O(`n`/64) tax on every delivery that dominated large lazy runs.)
 ///
 /// One clarification over the literal pseudocode:
 /// nodes known to have **rejected** the view are excluded from the wait
@@ -23,20 +27,18 @@ use crate::View;
 #[derive(Debug, Clone)]
 pub(crate) struct Instance<D> {
     view: View,
-    /// The border as a bitset (the universe of the sets below).
-    border: NodeSet,
     /// `opinions[V][r][·]`, index `r − 1`; absent key = `⊥`. Each round
     /// vector is `Arc`-shared with the messages that forward it
     /// (copy-on-write: a merge after a forward clones once).
     opinions: Vec<Arc<OpinionVector<D>>>,
     /// Border nodes with a non-`⊥` entry in `opinions[r]`, index `r − 1`
     /// (mirror of the vector's key set, for O(1) completeness checks).
-    answered: Vec<NodeSet>,
+    answered: Vec<BTreeSet<NodeId>>,
     /// `waiting[V][r]`, index `r − 1`: border nodes whose round-`r`
     /// message has not arrived.
-    waiting: Vec<NodeSet>,
+    waiting: Vec<BTreeSet<NodeId>>,
     /// Border nodes known (from any received vector) to have rejected.
-    rejectors: NodeSet,
+    rejectors: BTreeSet<NodeId>,
 }
 
 impl<D: Clone> Instance<D> {
@@ -44,21 +46,14 @@ impl<D: Clone> Instance<D> {
     /// (rounds `1 ..= view.total_rounds()`).
     pub fn new(view: View) -> Self {
         let rounds = view.total_rounds() as usize;
-        let capacity = view
-            .border()
-            .as_slice()
-            .last()
-            .map_or(0, |max| max.index() + 1);
-        let mut border = NodeSet::with_capacity(capacity);
-        border.extend(view.border().iter());
+        let waiting: BTreeSet<NodeId> = view.border().iter().collect();
         Instance {
             opinions: (0..rounds)
                 .map(|_| Arc::new(OpinionVector::new()))
                 .collect(),
-            answered: vec![NodeSet::with_capacity(capacity); rounds],
-            waiting: vec![border.clone(); rounds],
-            rejectors: NodeSet::with_capacity(capacity),
-            border,
+            answered: vec![BTreeSet::new(); rounds],
+            waiting: vec![waiting; rounds],
+            rejectors: BTreeSet::new(),
             view,
         }
     }
@@ -74,7 +69,7 @@ impl<D: Clone> Instance<D> {
     }
 
     /// Known rejectors of this view.
-    pub fn rejectors(&self) -> &NodeSet {
+    pub fn rejectors(&self) -> &BTreeSet<NodeId> {
         &self.rejectors
     }
 
@@ -105,22 +100,22 @@ impl<D: Clone> Instance<D> {
         };
         let vector = Arc::make_mut(vector);
         let answered = &mut self.answered[slot];
+        let border = self.view.border();
         for (&pk, op) in msg.opinions.iter() {
             vector.entry(pk).or_insert_with(|| {
-                if self.border.contains(pk) {
+                if border.contains(pk) {
                     answered.insert(pk);
                 }
                 op.clone()
             });
         }
         if let Some(w) = self.waiting.get_mut(slot) {
-            w.remove(from);
+            w.remove(&from);
         }
         // Only border members can reject (they are the only recipients),
         // and only they matter to the round guards (`waiting ⊆ border`).
         // Filtering also keeps a malformed id in a received vector from
-        // growing the dense set far beyond the border.
-        let border = &self.border;
+        // bloating the rejecter set beyond the border.
         self.rejectors
             .extend(msg.rejectors().filter(|r| border.contains(*r)));
     }
@@ -130,17 +125,14 @@ impl<D: Clone> Instance<D> {
     /// crashed (the `waiting[Vp][r] \ locallyCrashed = ∅` guard of line
     /// 32, extended with rejectors per the struct docs).
     ///
-    /// Word-parallel: `waiting ∖ crashed ∖ rejectors = ∅` is one pass of
-    /// AND-NOT over the backing words.
+    /// O(|waiting|) probes — the wait set only ever shrinks, so this is
+    /// border-sized at worst and usually near-empty by the time it fires.
     pub fn round_complete(&self, round: u32, locally_crashed: &NodeSet) -> bool {
         let Some(w) = self.waiting.get((round as usize) - 1) else {
             return false;
         };
-        w.words().iter().enumerate().all(|(i, &word)| {
-            let crashed = locally_crashed.words().get(i).copied().unwrap_or(0);
-            let rejected = self.rejectors.words().get(i).copied().unwrap_or(0);
-            word & !crashed & !rejected == 0
-        })
+        w.iter()
+            .all(|&p| locally_crashed.contains(p) || self.rejectors.contains(&p))
     }
 
     /// `true` if the round-`round` vector has an entry (no `⊥`) for every
@@ -149,7 +141,7 @@ impl<D: Clone> Instance<D> {
     pub fn vector_complete(&self, round: u32) -> bool {
         self.answered
             .get((round as usize) - 1)
-            .is_some_and(|a| a.len() == self.border.len())
+            .is_some_and(|a| a.len() == self.view.border().len())
     }
 
     /// The round-`round` opinion vector.
@@ -275,7 +267,10 @@ mod tests {
         // n2 rejects (tagged round 1) — it must unblock round 2 as well.
         inst.merge(NodeId(2), &msg(1, &view, rejection_vector(NodeId(2))));
         assert!(inst.round_complete(1, &NodeSet::new()));
-        assert_eq!(inst.rejectors().iter().collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(
+            inst.rejectors().iter().copied().collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
         // Round 2: only 1 and 3 need to speak.
         inst.merge(
             NodeId(1),
@@ -303,7 +298,7 @@ mod tests {
         inst.merge(NodeId(1), &msg(1, &view, rejection_vector(NodeId(1))));
         assert_eq!(inst.vector(1)[&NodeId(1)], Opinion::Accept(1));
         // ... but the node is still recorded as a rejecter for waiting.
-        assert!(inst.rejectors().contains(NodeId(1)));
+        assert!(inst.rejectors().contains(&NodeId(1)));
     }
 
     #[test]

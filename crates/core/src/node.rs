@@ -239,8 +239,10 @@ where
             actions.push(Action::Monitor(targets));
         }
 
-        // Lines 8–11.
-        let components = self.topology.components_of_set(&self.crashed_set);
+        // Lines 8–11. The sorted mirror of `crashed_set` drives the
+        // component query so its cost tracks |locallyCrashed|, not the
+        // word extent of the highest crashed id.
+        let components = self.topology.components_of(&self.locally_crashed);
         let best = components
             .into_iter()
             .map(|region| View::new(&self.topology, region))

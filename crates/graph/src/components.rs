@@ -40,7 +40,11 @@ impl BfsScratch {
     /// Runs the BFS of [`reachable_within_set`] into this scratch,
     /// leaving the result in [`seen`](Self::seen).
     pub fn reach(&mut self, g: &Graph, start: NodeId, set: &NodeSet) {
-        let words = g.mask_words();
+        // `seen ⊆ set` always, so the scratch only needs `set`'s occupied
+        // word extent — never the graph's full ⌈n/64⌉ words. This keeps a
+        // footprint-sized query footprint-priced on arbitrarily large
+        // graphs (the lazy-run scaling contract).
+        let words = set.words().len();
         let seen_words = self.seen.words_mut();
         seen_words.clear();
         seen_words.resize(words, 0);
@@ -60,7 +64,9 @@ impl BfsScratch {
             // the graph caches a dense row. Sparse nodes instead probe
             // each neighbor with O(1) bit tests.
             if let Some(row) = g.dense_row(p) {
-                for (i, &m) in row.iter().enumerate() {
+                // Row words beyond `set`'s extent can contribute nothing
+                // (`set_word` would be 0), so the pass stops at `words`.
+                for (i, &m) in row.iter().enumerate().take(words) {
                     let set_word = set_words.get(i).copied().unwrap_or(0);
                     let mut fresh = m & set_word & !seen_words[i];
                     if fresh == 0 {
@@ -106,7 +112,9 @@ impl BfsScratch {
 /// assert_eq!(reached.iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(1)]);
 /// ```
 pub fn reachable_within_set(g: &Graph, start: NodeId, set: &NodeSet) -> NodeSet {
-    let mut scratch = BfsScratch::with_capacity(g.len());
+    // `reach` sizes the scratch to `set`'s extent, so pre-sizing for the
+    // whole graph here would just re-introduce an O(n/64) zeroing pass.
+    let mut scratch = BfsScratch::default();
     scratch.reach(g, start, set);
     scratch.seen
 }
@@ -139,13 +147,43 @@ pub fn reachable_within(g: &Graph, start: NodeId, set: &BTreeSet<NodeId>) -> BTr
 /// components; each peel is a word-parallel BFS followed by a
 /// word-parallel subtraction from the remainder.
 pub fn connected_components_set(g: &Graph, set: &NodeSet) -> Vec<Region> {
+    if crate::nodeset::sparse_wins(set.len(), g.mask_words()) {
+        return components_sparse(g, set);
+    }
     let mut remaining = set.clone();
-    let mut scratch = BfsScratch::with_capacity(g.len());
+    let mut scratch = BfsScratch::default();
     let mut components = Vec::new();
     while let Some(seed) = remaining.min() {
         scratch.reach(g, seed, &remaining);
         remaining.difference_with(&scratch.seen);
         components.push(scratch.seen.to_region());
+    }
+    components
+}
+
+/// Per-member peeling for protocol-sized sets: O(|S|·deg·log|S|) with no
+/// bitset passes at all, so the cost is independent of both `n` and the
+/// magnitude of the member ids. Produces byte-identical output to the
+/// bitset path — components in increasing order of their smallest node,
+/// each sorted — which the cross-threshold tests below pin down.
+fn components_sparse(g: &Graph, set: &NodeSet) -> Vec<Region> {
+    let mut remaining: BTreeSet<NodeId> = set.iter().collect();
+    let mut components = Vec::new();
+    while let Some(&seed) = remaining.iter().next() {
+        let mut comp = BTreeSet::new();
+        comp.insert(seed);
+        let mut frontier = vec![seed];
+        while let Some(p) = frontier.pop() {
+            for &q in g.neighbors(p) {
+                if remaining.contains(&q) && comp.insert(q) {
+                    frontier.push(q);
+                }
+            }
+        }
+        for p in &comp {
+            remaining.remove(p);
+        }
+        components.push(comp.into_iter().collect());
     }
     components
 }
@@ -168,6 +206,29 @@ pub fn connected_components_set(g: &Graph, set: &NodeSet) -> Vec<Region> {
 /// assert_eq!(comps[1], Region::from_iter([NodeId(4)]));
 /// ```
 pub fn connected_components(g: &Graph, set: &BTreeSet<NodeId>) -> Vec<Region> {
+    if crate::nodeset::sparse_wins(set.len(), g.mask_words()) {
+        // Peel straight off the sorted set — converting to a bitset first
+        // would cost O(max-id/64) before the footprint-sized work starts.
+        let mut remaining = set.clone();
+        let mut components = Vec::new();
+        while let Some(&seed) = remaining.iter().next() {
+            let mut comp = BTreeSet::new();
+            comp.insert(seed);
+            let mut frontier = vec![seed];
+            while let Some(p) = frontier.pop() {
+                for &q in g.neighbors(p) {
+                    if remaining.contains(&q) && comp.insert(q) {
+                        frontier.push(q);
+                    }
+                }
+            }
+            for p in &comp {
+                remaining.remove(p);
+            }
+            components.push(comp.into_iter().collect());
+        }
+        return components;
+    }
     connected_components_set(g, &NodeSet::from(set))
 }
 
@@ -188,6 +249,22 @@ pub fn is_connected_subset(g: &Graph, region: &Region) -> bool {
     let Some(seed) = region.iter().next() else {
         return false;
     };
+    if crate::nodeset::sparse_wins(region.len(), g.mask_words()) {
+        // Membership by binary search on the sorted region: no bitset is
+        // ever materialized, so small-region checks cost O(|R|·deg·log|R|)
+        // regardless of n or the ids involved.
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        seen.insert(seed);
+        let mut frontier = vec![seed];
+        while let Some(p) = frontier.pop() {
+            for &q in g.neighbors(p) {
+                if region.contains(q) && seen.insert(q) {
+                    frontier.push(q);
+                }
+            }
+        }
+        return seen.len() == region.len();
+    }
     reachable_within_set(g, seed, &NodeSet::from(region)).len() == region.len()
 }
 

@@ -7,11 +7,19 @@
 //! `random_geometric_connected`) retry with a derived seed until the graph
 //! is connected — crashed-region semantics are only interesting on
 //! connected systems.
+//!
+//! The closed-form topologies (ring, path, grid, torus) are defined by
+//! *row functions* — the sorted adjacency of node `p` as a pure function
+//! of `p` — and built in one pass with no intermediate edge list. The
+//! same row functions drive the `stream_*` variants, which write a
+//! [`.pcsr` file](crate::GraphStore) directly: a 10⁸-node torus streams
+//! to disk through a fixed-size buffer, never holding O(E) in memory.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::store::{GraphStore, StoreError, StoreSummary};
 use crate::{Graph, GraphBuilder, NodeId};
 
 /// Dimensions of a [`grid`] or [`torus`] topology.
@@ -43,6 +51,59 @@ impl GridDims {
     }
 }
 
+/// Sorted adjacency row of node `p` in an `n`-ring (`n ≥ 3`).
+fn ring_row(n: usize, p: usize, out: &mut Vec<NodeId>) {
+    out.extend([
+        NodeId::from_index((p + n - 1) % n),
+        NodeId::from_index((p + 1) % n),
+    ]);
+    out.sort_unstable();
+}
+
+/// Sorted adjacency row of node `p` in an `n`-path.
+fn path_row(n: usize, p: usize, out: &mut Vec<NodeId>) {
+    if p > 0 {
+        out.push(NodeId::from_index(p - 1));
+    }
+    if p + 1 < n {
+        out.push(NodeId::from_index(p + 1));
+    }
+}
+
+/// Sorted adjacency row of node `p` in a `dims` grid (no wraparound).
+/// Emitted in ascending id order by construction: north, west, east,
+/// south.
+fn grid_row(dims: GridDims, p: usize, out: &mut Vec<NodeId>) {
+    let (w, h) = (dims.width, dims.height);
+    let (x, y) = (p % w, p / w);
+    if y > 0 {
+        out.push(NodeId::from_index((y - 1) * w + x));
+    }
+    if x > 0 {
+        out.push(NodeId::from_index(y * w + x - 1));
+    }
+    if x + 1 < w {
+        out.push(NodeId::from_index(y * w + x + 1));
+    }
+    if y + 1 < h {
+        out.push(NodeId::from_index((y + 1) * w + x));
+    }
+}
+
+/// Sorted adjacency row of node `p` in a `dims` torus (both dims ≥ 3, so
+/// the four wrapped neighbors are distinct).
+fn torus_row(dims: GridDims, p: usize, out: &mut Vec<NodeId>) {
+    let (w, h) = (dims.width, dims.height);
+    let (x, y) = (p % w, p / w);
+    out.extend([
+        NodeId::from_index(((y + h - 1) % h) * w + x),
+        NodeId::from_index(y * w + (x + w - 1) % w),
+        NodeId::from_index(y * w + (x + 1) % w),
+        NodeId::from_index(((y + 1) % h) * w + x),
+    ]);
+    out.sort_unstable();
+}
+
 /// A cycle of `n` nodes: `0 - 1 - … - (n-1) - 0`.
 ///
 /// # Panics
@@ -50,7 +111,21 @@ impl GridDims {
 /// Panics if `n < 3` (a cycle needs at least three nodes).
 pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
-    Graph::from_edges(n, (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)))
+    Graph::from_sorted_rows(n, |p, out| ring_row(n, p, out))
+}
+
+/// Streams an `n`-ring to `path` as a `.pcsr` file without building it
+/// in memory; see [`ring`] for the topology.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn stream_ring(
+    n: usize,
+    path: impl AsRef<std::path::Path>,
+) -> Result<StoreSummary, StoreError> {
+    assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
+    GraphStore::write_rows(path, n, |p, out| ring_row(n, p, out))
 }
 
 /// A path (line) of `n` nodes: `0 - 1 - … - (n-1)`.
@@ -60,10 +135,21 @@ pub fn ring(n: usize) -> Graph {
 /// Panics if `n == 0`.
 pub fn path(n: usize) -> Graph {
     assert!(n > 0, "a path needs at least 1 node");
-    Graph::from_edges(
-        n,
-        (0..n.saturating_sub(1)).map(|i| (i as u32, (i + 1) as u32)),
-    )
+    Graph::from_sorted_rows(n, |p, out| path_row(n, p, out))
+}
+
+/// Streams an `n`-path to `file` as a `.pcsr` file without building it
+/// in memory; see [`path`] for the topology.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn stream_path(
+    n: usize,
+    file: impl AsRef<std::path::Path>,
+) -> Result<StoreSummary, StoreError> {
+    assert!(n > 0, "a path needs at least 1 node");
+    GraphStore::write_rows(file, n, |p, out| path_row(n, p, out))
 }
 
 /// The complete graph `K_n`.
@@ -99,19 +185,24 @@ pub fn grid(dims: GridDims) -> Graph {
         !dims.is_empty(),
         "grid dimensions must be non-zero: {dims:?}"
     );
-    let mut b = GraphBuilder::new(dims.len());
-    let id = |x: usize, y: usize| NodeId::from_index(y * dims.width + x);
-    for y in 0..dims.height {
-        for x in 0..dims.width {
-            if x + 1 < dims.width {
-                b.add_edge(id(x, y), id(x + 1, y));
-            }
-            if y + 1 < dims.height {
-                b.add_edge(id(x, y), id(x, y + 1));
-            }
-        }
-    }
-    b.build()
+    Graph::from_sorted_rows(dims.len(), |p, out| grid_row(dims, p, out))
+}
+
+/// Streams a `dims` grid to `path` as a `.pcsr` file without building it
+/// in memory; see [`grid`] for the topology.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn stream_grid(
+    dims: GridDims,
+    path: impl AsRef<std::path::Path>,
+) -> Result<StoreSummary, StoreError> {
+    assert!(
+        !dims.is_empty(),
+        "grid dimensions must be non-zero: {dims:?}"
+    );
+    GraphStore::write_rows(path, dims.len(), |p, out| grid_row(dims, p, out))
 }
 
 /// A `width × height` 4-neighbour mesh **with** wraparound — the classic
@@ -127,15 +218,26 @@ pub fn torus(dims: GridDims) -> Graph {
         dims.width >= 3 && dims.height >= 3,
         "torus dimensions must be at least 3x3: {dims:?}"
     );
-    let mut b = GraphBuilder::new(dims.len());
-    let id = |x: usize, y: usize| NodeId::from_index(y * dims.width + x);
-    for y in 0..dims.height {
-        for x in 0..dims.width {
-            b.add_edge(id(x, y), id((x + 1) % dims.width, y));
-            b.add_edge(id(x, y), id(x, (y + 1) % dims.height));
-        }
-    }
-    b.build()
+    Graph::from_sorted_rows(dims.len(), |p, out| torus_row(dims, p, out))
+}
+
+/// Streams a `dims` torus to `path` as a `.pcsr` file without building
+/// it in memory; see [`torus`] for the topology. This is the 10⁸-node
+/// workhorse: two row-function passes through a fixed buffer, ~20 bytes
+/// of file per node, no O(E) allocation anywhere.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3`.
+pub fn stream_torus(
+    dims: GridDims,
+    path: impl AsRef<std::path::Path>,
+) -> Result<StoreSummary, StoreError> {
+    assert!(
+        dims.width >= 3 && dims.height >= 3,
+        "torus dimensions must be at least 3x3: {dims:?}"
+    );
+    GraphStore::write_rows(path, dims.len(), |p, out| torus_row(dims, p, out))
 }
 
 /// A uniformly random labelled tree on `n` nodes (random Prüfer sequence).

@@ -1,8 +1,10 @@
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use crate::nodeset::words_for;
+use crate::store::{GraphStore, MappedGraph, StoreError, StoreSummary};
 use crate::{NodeId, NodeSet, Region};
 
 /// Keep the border memo bounded: protocol churn can mint an unbounded
@@ -34,6 +36,11 @@ const BORDER_CACHE_CAP: usize = 1 << 16;
 /// bounded-degree topologies (torus, ring, geometric) it is empty beyond
 /// trivial sizes.
 ///
+/// The CSR arrays live either on the heap (built by [`GraphBuilder`])
+/// or in a memory-mapped `.pcsr` file ([`Graph::open_pcsr`]); the two
+/// storages expose identical slices, so every kernel is bit-identical
+/// across them and callers never need to care which one they hold.
+///
 /// Borders of [`Region`]s are additionally memoized in a shared,
 /// thread-safe cache ([`border_of_region_cached`](Graph::border_of_region_cached)):
 /// every border node of the same crashed region derives the identical
@@ -54,16 +61,11 @@ const BORDER_CACHE_CAP: usize = 1 << 16;
 /// ```
 #[derive(Clone)]
 pub struct Graph {
-    /// CSR offsets: the neighbours of `p` are
-    /// `csr[offsets[p] as usize .. offsets[p + 1] as usize]`, sorted.
-    /// `Arc`-shared across clones: the topology is immutable after
-    /// [`GraphBuilder::build`], and sweeps clone graphs per job — a clone
-    /// must cost O(1), not a deep copy.
-    offsets: Arc<Vec<u32>>,
-    /// Flat CSR adjacency array (each undirected edge appears twice).
-    csr: Arc<Vec<NodeId>>,
-    /// Dense bitmask rows for high-degree nodes only (see the type docs).
-    dense: Arc<DenseRows>,
+    /// Where the CSR arrays live: owned heap vectors or a mapped `.pcsr`
+    /// file. Every kernel reads them through the slice accessors
+    /// ([`offsets`](Graph::offsets_slice) / [`csr_slice`](Graph::csr_slice)),
+    /// so results are bit-identical across storage.
+    adjacency: Adjacency,
     /// Words per dense mask row (`⌈n/64⌉`).
     mask_words: usize,
     labels: Option<Vec<String>>,
@@ -71,6 +73,28 @@ pub struct Graph {
     /// Region-border memo, shared across clones (same immutable topology,
     /// same borders).
     borders: Arc<RwLock<HashMap<Region, Region>>>,
+}
+
+/// Backing storage for the CSR arrays.
+///
+/// `Arc`-shared either way: the topology is immutable after construction,
+/// and sweeps clone graphs per job — a clone must cost O(1), not a deep
+/// copy (and certainly not a re-`mmap`).
+#[derive(Clone, Debug)]
+enum Adjacency {
+    /// Heap vectors built by [`GraphBuilder`] / [`Graph::from_sorted_rows`].
+    Owned {
+        /// CSR offsets: the neighbours of `p` are
+        /// `csr[offsets[p] as usize .. offsets[p + 1] as usize]`, sorted.
+        offsets: Arc<Vec<u32>>,
+        /// Flat CSR adjacency array (each undirected edge appears twice).
+        csr: Arc<Vec<NodeId>>,
+        /// Dense bitmask rows for high-degree nodes only.
+        dense: Arc<DenseRows>,
+    },
+    /// A read-only mapping of a `.pcsr` file ([`Graph::open_pcsr`]); the
+    /// same sections, zero-copy.
+    Mapped(Arc<MappedGraph>),
 }
 
 /// Dense `⌈n/64⌉`-word neighbor-bitmask rows for the nodes whose degree
@@ -87,7 +111,11 @@ impl PartialEq for Graph {
     fn eq(&self, other: &Self) -> bool {
         // The dense rows are derived from the CSR arrays; the border
         // cache is a memo. Neither carries independent information.
-        self.offsets == other.offsets && self.csr == other.csr && self.labels == other.labels
+        // Comparing by slice makes an owned graph equal to its mapped
+        // round trip.
+        self.offsets_slice() == other.offsets_slice()
+            && self.csr_slice() == other.csr_slice()
+            && self.labels == other.labels
     }
 }
 
@@ -112,9 +140,111 @@ impl Graph {
         b.build()
     }
 
+    /// Opens a `.pcsr` topology file as a zero-copy mapped graph.
+    ///
+    /// The file's CSR sections are served in place — opening is O(1)
+    /// regardless of graph size, and every kernel produces bit-identical
+    /// results to the owned build it was written from. Labels are not
+    /// persisted by the format, so the mapped graph is unlabeled.
+    /// Validation is structural; call [`MappedGraph::verify`] separately
+    /// for the O(file) checksum walk.
+    pub fn open_pcsr(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mapped = MappedGraph::open(path)?;
+        Ok(Graph {
+            mask_words: mapped.mask_words(),
+            edge_count: mapped.edge_count(),
+            adjacency: Adjacency::Mapped(Arc::new(mapped)),
+            labels: None,
+            borders: Arc::new(RwLock::new(HashMap::new())),
+        })
+    }
+
+    /// Writes this graph's adjacency to `path` as a `.pcsr` file
+    /// (labels, if any, are not persisted).
+    pub fn write_pcsr(&self, path: impl AsRef<Path>) -> Result<StoreSummary, StoreError> {
+        GraphStore::write(self, path)
+    }
+
+    /// `true` if the adjacency is served from a mapped `.pcsr` file
+    /// rather than owned heap vectors.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.adjacency, Adjacency::Mapped(_))
+    }
+
+    /// Builds a graph directly from already-sorted adjacency rows.
+    ///
+    /// `row(p, out)` must append the neighbors of `p` (cleared by the
+    /// caller first) sorted ascending, deduplicated, self-loop-free, and
+    /// symmetric — the contract closed-form generators satisfy by
+    /// construction. One pass, no edge list, no counting-sort scatter:
+    /// peak memory is the final CSR plus the row buffer.
+    pub(crate) fn from_sorted_rows<F>(n: usize, mut row: F) -> Self
+    where
+        F: FnMut(usize, &mut Vec<NodeId>),
+    {
+        let mask_words = words_for(n);
+        let mut offsets = vec![0u32; n + 1];
+        let mut csr: Vec<NodeId> = Vec::new();
+        let mut dense = DenseRows::default();
+        let mut buf: Vec<NodeId> = Vec::new();
+        for p in 0..n {
+            buf.clear();
+            row(p, &mut buf);
+            debug_assert!(
+                buf.windows(2).all(|w| w[0] < w[1])
+                    && buf.iter().all(|q| q.index() < n && q.index() != p),
+                "row of node {p} violates the sorted-rows contract"
+            );
+            assert!(
+                csr.len() + buf.len() <= u32::MAX as usize,
+                "adjacency too large for u32 CSR offsets"
+            );
+            csr.extend_from_slice(&buf);
+            offsets[p + 1] = csr.len() as u32;
+            if mask_words > 0 && buf.len() >= mask_words {
+                dense.ids.push(p as u32);
+                let base = dense.words.len();
+                dense.words.resize(base + mask_words, 0);
+                for q in &buf {
+                    dense.words[base + q.index() / 64] |= 1 << (q.index() % 64);
+                }
+            }
+        }
+        let edge_count = csr.len() / 2;
+        Graph {
+            adjacency: Adjacency::Owned {
+                offsets: Arc::new(offsets),
+                csr: Arc::new(csr),
+                dense: Arc::new(dense),
+            },
+            mask_words,
+            labels: None,
+            edge_count,
+            borders: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The CSR offset array (`n + 1` entries), from either storage.
+    #[inline]
+    fn offsets_slice(&self) -> &[u32] {
+        match &self.adjacency {
+            Adjacency::Owned { offsets, .. } => offsets,
+            Adjacency::Mapped(m) => m.offsets(),
+        }
+    }
+
+    /// The flat CSR adjacency array (`2·E` entries), from either storage.
+    #[inline]
+    fn csr_slice(&self) -> &[NodeId] {
+        match &self.adjacency {
+            Adjacency::Owned { csr, .. } => csr,
+            Adjacency::Mapped(m) => m.csr(),
+        }
+    }
+
     /// Number of nodes `|Π|`.
     pub fn len(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets_slice().len() - 1
     }
 
     /// `true` if the graph has no nodes.
@@ -140,7 +270,8 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
         assert!(self.contains(p), "no such node {p}");
-        &self.csr[self.offsets[p.index()] as usize..self.offsets[p.index() + 1] as usize]
+        let offsets = self.offsets_slice();
+        &self.csr_slice()[offsets[p.index()] as usize..offsets[p.index() + 1] as usize]
     }
 
     /// The dense neighbor-bitmask row of `p` (`mask_words` words, bit `q`
@@ -150,8 +281,12 @@ impl Graph {
     /// fall back to [`neighbors`](Graph::neighbors).
     #[inline]
     pub fn dense_row(&self, p: NodeId) -> Option<&[u64]> {
-        let i = self.dense.ids.binary_search(&p.0).ok()?;
-        Some(&self.dense.words[i * self.mask_words..(i + 1) * self.mask_words])
+        let (ids, words): (&[u32], &[u64]) = match &self.adjacency {
+            Adjacency::Owned { dense, .. } => (&dense.ids, &dense.words),
+            Adjacency::Mapped(m) => (m.dense_ids_slice(), m.dense_words_slice()),
+        };
+        let i = ids.binary_search(&p.0).ok()?;
+        Some(&words[i * self.mask_words..(i + 1) * self.mask_words])
     }
 
     /// Words per dense mask row (`⌈n/64⌉`) — the row length of every
@@ -163,11 +298,25 @@ impl Graph {
     /// Total heap bytes of the adjacency representation (CSR offsets +
     /// flat array + dense hub rows + labels). O(|Π| + |E|) by
     /// construction; the accounting exists so tests can pin the scaling.
+    ///
+    /// A mapped graph owns no adjacency heap at all — its sections live
+    /// in the page cache, shared between every process mapping the same
+    /// file — so only the label bytes (always `None` today) count.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<u32>()
-            + self.csr.len() * std::mem::size_of::<NodeId>()
-            + self.dense.ids.len() * std::mem::size_of::<u32>()
-            + self.dense.words.len() * std::mem::size_of::<u64>()
+        let adjacency = match &self.adjacency {
+            Adjacency::Owned {
+                offsets,
+                csr,
+                dense,
+            } => {
+                offsets.len() * std::mem::size_of::<u32>()
+                    + csr.len() * std::mem::size_of::<NodeId>()
+                    + dense.ids.len() * std::mem::size_of::<u32>()
+                    + dense.words.len() * std::mem::size_of::<u64>()
+            }
+            Adjacency::Mapped(_) => 0,
+        };
+        adjacency
             + self
                 .labels
                 .as_ref()
@@ -182,7 +331,8 @@ impl Graph {
     #[inline]
     pub fn degree(&self, p: NodeId) -> usize {
         assert!(self.contains(p), "no such node {p}");
-        (self.offsets[p.index() + 1] - self.offsets[p.index()]) as usize
+        let offsets = self.offsets_slice();
+        (offsets[p.index() + 1] - offsets[p.index()]) as usize
     }
 
     /// `true` if `p` and `q` are adjacent.
@@ -272,9 +422,23 @@ impl Graph {
     where
         I: IntoIterator<Item = NodeId>,
     {
-        let mut members = NodeSet::with_capacity(self.len());
-        members.extend(set);
-        self.border_set(&members).iter().collect()
+        let members: Vec<NodeId> = set.into_iter().collect();
+        if crate::nodeset::sparse_wins(members.len(), self.mask_words) {
+            let members: BTreeSet<NodeId> = members.into_iter().collect();
+            let mut border = BTreeSet::new();
+            for &p in &members {
+                assert!(p.index() < self.len(), "no such node {p}");
+                for &q in self.neighbors(p) {
+                    if !members.contains(&q) {
+                        border.insert(q);
+                    }
+                }
+            }
+            return border.into_iter().collect();
+        }
+        let mut ns = NodeSet::with_capacity(self.len());
+        ns.extend(members);
+        self.border_set(&ns).iter().collect()
     }
 
     /// The border of a [`Region`], memoized.
@@ -294,7 +458,24 @@ impl Graph {
         {
             return hit.clone();
         }
-        let computed = self.border_set(&NodeSet::from(region)).to_region();
+        let computed = if crate::nodeset::sparse_wins(region.len(), self.mask_words) {
+            // Protocol-sized regions skip the bitset entirely: the border
+            // is gathered per-neighbor with membership by binary search
+            // on the sorted region, so a memo miss costs O(|R|·deg)
+            // instead of O(n/64) — identical sorted output either way.
+            let mut border = BTreeSet::new();
+            for p in region.iter() {
+                assert!(p.index() < self.len(), "no such node {p}");
+                for &q in self.neighbors(p) {
+                    if !region.contains(q) {
+                        border.insert(q);
+                    }
+                }
+            }
+            border.into_iter().collect()
+        } else {
+            self.border_set(&NodeSet::from(region)).to_region()
+        };
         let mut cache = self.borders.write().expect("border cache poisoned");
         if cache.len() >= BORDER_CACHE_CAP {
             cache.clear();
@@ -355,6 +536,7 @@ impl fmt::Debug for Graph {
             .field("nodes", &self.len())
             .field("edges", &self.edge_count)
             .field("labeled", &self.labels.is_some())
+            .field("mapped", &self.is_mapped())
             .finish()
     }
 }
@@ -513,9 +695,11 @@ impl GraphBuilder {
         }
 
         Graph {
-            offsets: Arc::new(offsets),
-            csr: Arc::new(csr),
-            dense: Arc::new(dense),
+            adjacency: Adjacency::Owned {
+                offsets: Arc::new(offsets),
+                csr: Arc::new(csr),
+                dense: Arc::new(dense),
+            },
             mask_words,
             labels: self.labels,
             edge_count,

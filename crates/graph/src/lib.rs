@@ -40,17 +40,21 @@
 //! assert_eq!(border, vec![NodeId(0), NodeId(2)]);
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid) so the one mmap module can scope-allow its bindings;
+// see crate::mmap for the safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub(crate) mod components;
 mod dot;
 mod generators;
 mod graph;
+mod mmap;
 mod node;
 mod nodeset;
 mod rank;
 mod region;
+mod store;
 mod topology;
 
 pub use components::{
@@ -60,11 +64,13 @@ pub use components::{
 pub use dot::to_dot;
 pub use generators::{
     barabasi_albert, complete, erdos_renyi_connected, grid, path, random_geometric_connected,
-    random_tree, ring, star, torus, watts_strogatz, GridDims,
+    random_tree, ring, star, stream_grid, stream_path, stream_ring, stream_torus, torus,
+    watts_strogatz, GridDims,
 };
 pub use graph::{Graph, GraphBuilder};
 pub use node::NodeId;
 pub use nodeset::NodeSet;
 pub use rank::{max_ranked_region, rank_cmp, rank_cmp_keyed, RankKey};
 pub use region::Region;
+pub use store::{GraphStore, MappedGraph, StoreError, StoreSummary};
 pub use topology::Topology;

@@ -16,6 +16,7 @@ use std::fmt;
 /// assert_eq!(n.to_string(), "n3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)] // mapped CSR sections are reinterpreted &[u32] → &[NodeId]
 pub struct NodeId(pub u32);
 
 impl NodeId {

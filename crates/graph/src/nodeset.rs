@@ -44,6 +44,19 @@ pub(crate) fn words_for(n: usize) -> usize {
     n.div_ceil(WORD_BITS)
 }
 
+/// Dispatch predicate for the hybrid set kernels: `true` when a set of
+/// `len` members over a graph whose dense masks span `mask_words` words
+/// is so sparse that per-member probing (O(`len`·deg·log `len`)) beats
+/// even a single word-parallel pass (O(`mask_words`)). Keeping the
+/// cutoff a factor of 64 under the break-even point makes the sparse
+/// path a strict win — the kernels stay footprint-proportional for
+/// protocol-sized sets on arbitrarily large graphs without ever slowing
+/// the dense path down.
+#[inline]
+pub(crate) fn sparse_wins(len: usize, mask_words: usize) -> bool {
+    len.saturating_mul(WORD_BITS) < mask_words
+}
+
 /// A dense, growable bitset of [`NodeId`]s.
 ///
 /// This is the workhorse set type of the graph layer: membership, union,

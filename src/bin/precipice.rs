@@ -45,11 +45,13 @@ USAGE:
     precipice [OPTIONS]
     precipice check [OPTIONS] [CHECK OPTIONS]
     precipice replay <artifact>
+    precipice graph build <spec> -o <file.pcsr> [--seed <u64>]
+    precipice graph info <file.pcsr>
 
 OPTIONS:
     --topology <spec>   torus:<side> | grid:<w>x<h> | ring:<n> | path:<n> |
                         star:<n> | geometric:<n>:<radius> | er:<n>:<p> |
-                        tree:<n>                    [default: torus:8]
+                        tree:<n> | pcsr:<file>      [default: torus:8]
     --region <spec>     blob:<k> | line:<k> | ball:<radius> |
                         nodes:<id,id,...>           [default: blob:4]
     --at <node-id>      region seed node            [default: graph center]
@@ -76,6 +78,13 @@ CHECK OPTIONS (adversarial schedule exploration):
                         (0 = always spend the whole budget) [default: 0]
     --artifact <path>   write the first shrunk counterexample here
                         (default: print it inline)
+
+GRAPH SUBCOMMANDS (on-disk topologies):
+    graph build <spec> -o <file>   write <spec> (same grammar as
+                        --topology) as a .pcsr file; torus/grid/ring/path
+                        stream straight to disk without materializing the
+                        graph, so sizes far beyond RAM-resident builds work
+    graph info <file>   print the .pcsr header and verify its checksum
 ";
 
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +172,11 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
 }
 
 fn parse_topology(spec: &str, seed: u64) -> Result<Graph, String> {
+    // `pcsr:<path>` maps an on-disk topology zero-copy; match it before
+    // the colon split, since paths may contain colons.
+    if let Some(file) = spec.strip_prefix("pcsr:") {
+        return Graph::open_pcsr(file).map_err(|e| format!("cannot open {file:?}: {e}"));
+    }
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| {
         s.parse::<usize>()
@@ -755,6 +769,129 @@ fn run_replay(path: &str) -> Result<bool, String> {
     }
 }
 
+/// `graph build <spec> -o <file> [--seed u64]` / `graph info <file>`.
+///
+/// Closed-form topologies (torus, grid, ring, path) stream to the file
+/// through the two-pass row writer — no in-memory graph, so the spec can
+/// be orders of magnitude larger than what a `--topology` run could
+/// build per process. Everything else is materialized once and written.
+fn run_graph<I: Iterator<Item = String>>(mut args: I) -> Result<bool, String> {
+    match args.next().as_deref() {
+        Some("build") => {
+            let mut spec: Option<String> = None;
+            let mut out: Option<String> = None;
+            let mut seed: u64 = 0;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "-o" | "--out" => {
+                        out = Some(args.next().ok_or("-o requires a file path")?);
+                    }
+                    "--seed" => {
+                        seed = args
+                            .next()
+                            .ok_or("--seed requires a value")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    s if spec.is_none() && !s.starts_with('-') => spec = Some(arg),
+                    other => {
+                        return Err(format!("unknown graph build argument {other:?}\n\n{USAGE}"))
+                    }
+                }
+            }
+            let spec =
+                spec.ok_or_else(|| format!("graph build wants a topology spec\n\n{USAGE}"))?;
+            let out = out.ok_or_else(|| format!("graph build wants -o <file>\n\n{USAGE}"))?;
+            let t0 = std::time::Instant::now();
+            let (summary, mode) = stream_spec(&spec, &out, seed)?;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "wrote {out}: n={} edges={} dense_rows={} bytes={} ({mode}, {ms:.1} ms)",
+                fmt_num(summary.n as f64),
+                fmt_num(summary.edge_count as f64),
+                summary.dense_rows,
+                fmt_num(summary.file_bytes as f64),
+            );
+            Ok(true)
+        }
+        Some("info") => {
+            let path = match (args.next(), args.next()) {
+                (Some(p), None) if !p.starts_with('-') => p,
+                (Some(_), Some(extra)) => {
+                    return Err(format!("graph info takes one file (unexpected {extra:?})"))
+                }
+                _ => return Err(format!("graph info wants a .pcsr file\n\n{USAGE}")),
+            };
+            let m = precipice::graph::MappedGraph::open(&path)
+                .map_err(|e| format!("cannot open {path:?}: {e}"))?;
+            println!("file:       {path}");
+            println!("nodes:      {}", fmt_num(m.len() as f64));
+            println!("edges:      {}", fmt_num(m.edge_count() as f64));
+            println!("mask words: {}", m.mask_words());
+            println!("dense rows: {}", m.dense_rows());
+            println!("file bytes: {}", fmt_num(m.file_bytes() as f64));
+            println!("checksum:   {:#018x}", m.recorded_checksum());
+            match m.verify() {
+                Ok(()) => {
+                    println!("verify:     ok");
+                    Ok(true)
+                }
+                Err(e) => {
+                    println!("verify:     FAILED ({e})");
+                    Ok(false)
+                }
+            }
+        }
+        _ => Err(format!(
+            "graph wants a subcommand: build or info\n\n{USAGE}"
+        )),
+    }
+}
+
+/// Builds `spec` into `out`, streaming when the topology is closed-form.
+/// Returns the write summary and which path was taken ("streamed" /
+/// "materialized").
+fn stream_spec(
+    spec: &str,
+    out: &str,
+    seed: u64,
+) -> Result<(precipice::graph::StoreSummary, &'static str), String> {
+    use precipice::graph::{stream_grid, stream_path, stream_ring, stream_torus};
+    let num = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    let streamed = match spec.split(':').collect::<Vec<_>>().as_slice() {
+        ["torus", side] => Some(stream_torus(GridDims::square(num(side)?), out)),
+        ["grid", dims] => {
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid wants <w>x<h>, got {dims:?}"))?;
+            Some(stream_grid(
+                GridDims {
+                    width: num(w)?,
+                    height: num(h)?,
+                },
+                out,
+            ))
+        }
+        ["ring", n] => Some(stream_ring(num(n)?, out)),
+        ["path", n] => Some(stream_path(num(n)?, out)),
+        _ => None,
+    };
+    match streamed {
+        Some(result) => result
+            .map(|s| (s, "streamed"))
+            .map_err(|e| format!("cannot write {out:?}: {e}")),
+        None => {
+            let g = parse_topology(spec, seed)?;
+            g.write_pcsr(out)
+                .map(|s| (s, "materialized"))
+                .map_err(|e| format!("cannot write {out:?}: {e}"))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     // Runtime failures get an `error: ` prefix; parse/usage messages
     // stay bare (the long-standing contract of the single-run path).
@@ -764,6 +901,16 @@ fn main() -> ExitCode {
         Some("check") => {
             args.next();
             parse_check_args(args).and_then(|opts| run_check(&opts).map_err(runtime_err))
+        }
+        Some("graph") => {
+            args.next();
+            run_graph(args).map_err(|e| {
+                if e.contains("cannot") {
+                    runtime_err(e)
+                } else {
+                    e
+                }
+            })
         }
         Some("replay") => {
             args.next();

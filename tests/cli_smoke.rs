@@ -84,6 +84,87 @@ fn seed_sweep_passes_spec_and_is_parallel_deterministic() {
 }
 
 #[test]
+fn graph_build_info_and_mapped_run_roundtrip() {
+    // The on-disk topology pipeline, end to end through the real binary:
+    // build a .pcsr file, inspect it, then run the consensus scenario on
+    // it via `--topology pcsr:` and require the same verdict — and the
+    // same report — an in-memory build of the identical torus produces.
+    let dir = std::env::temp_dir().join("precipice-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("torus12.pcsr");
+    let file = file.to_str().unwrap();
+
+    let built = precipice(&["graph", "build", "torus:12", "-o", file]);
+    let stdout = String::from_utf8(built.stdout).unwrap();
+    assert!(
+        built.status.success(),
+        "graph build failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&built.stderr)
+    );
+    assert!(stdout.contains("streamed"), "in:\n{stdout}");
+
+    let info = precipice(&["graph", "info", file]);
+    assert!(info.status.success());
+    let stdout = String::from_utf8(info.stdout).unwrap();
+    assert!(stdout.contains("verify:     ok"), "in:\n{stdout}");
+    assert!(stdout.contains("nodes:      144"), "in:\n{stdout}");
+
+    let run_args = |topology: &str| {
+        [
+            "--topology".to_owned(),
+            topology.to_owned(),
+            "--region".to_owned(),
+            "blob:4".to_owned(),
+            "--seed".to_owned(),
+            "3".to_owned(),
+        ]
+    };
+    let mapped = precipice(
+        &run_args(&format!("pcsr:{file}"))
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    let owned = precipice(
+        &run_args("torus:12")
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(mapped.status.success(), "mapped run failed");
+    assert!(owned.status.success());
+    let mapped_out = String::from_utf8(mapped.stdout).unwrap();
+    assert!(
+        mapped_out.contains("CD1-CD7 all satisfied"),
+        "in:\n{mapped_out}"
+    );
+    // Identical modulo the topology spec echoed in the cost table.
+    let scrub = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("pcsr:") && !l.contains("torus:12"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        scrub(&mapped_out),
+        scrub(&String::from_utf8(owned.stdout).unwrap()),
+        "mapped and in-memory runs diverged"
+    );
+}
+
+#[test]
+fn graph_info_rejects_garbage_gracefully() {
+    let dir = std::env::temp_dir().join("precipice-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("not-a-graph.pcsr");
+    std::fs::write(&file, b"definitely not a pcsr file").unwrap();
+    let out = precipice(&["graph", "info", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "garbage must not crash");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a .pcsr file"), "in:\n{stderr}");
+}
+
+#[test]
 fn help_exits_with_usage() {
     let out = precipice(&["--help"]);
     // The CLI prints usage on stderr and exits 2 (usage is the "error"
