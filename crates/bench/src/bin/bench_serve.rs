@@ -1,0 +1,147 @@
+//! Report binary: throughput and latency of `precipice serve`.
+//!
+//! Drives [`ServeSession::handle_line`] — the exact code path behind the
+//! `precipice serve` stdin loop, minus the pipe — through repeated full
+//! instance lifecycles (`open` a torus → `crash` its center → `await`
+//! quiescence → `read` a border decision → `close`) and reports, per
+//! (shard count × node count) cell:
+//!
+//! - **instances/sec** — completed lifecycles per wall-clock second.
+//!   Each lifecycle includes a real quiescence wait (`quiet_ms` of
+//!   settle time), so this is an honest end-to-end agreement rate, not
+//!   a parsing benchmark;
+//! - **p50/p99 command latency (µs)** — over every command issued in
+//!   the cell. The p99 is dominated by `await` (it must observe the
+//!   quiet window); the p50 shows what `open`/`crash`/`read`/`close`
+//!   cost on a footprint-proportional backend: near-constant in the
+//!   node count, because only the crashed node's border ever activates.
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_serve -- \
+//!     [--test] [--json PATH]`
+//!
+//! - `--test`: tiny sizes and fewer lifecycles — CI smoke mode.
+//!
+//! Writes `BENCH_serve.json` by default.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use precipice_net::ServeSession;
+use precipice_workload::sweep::Jobs;
+
+/// Shard counts the grid sweeps; 0 rides the session default (2).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Settle window for `await`: long enough to be reliable under suite
+/// load, short enough that the lifecycle rate stays meaningful.
+const QUIET_MS: u64 = 100;
+
+struct ServeRow {
+    shards: usize,
+    nodes: usize,
+    commands: usize,
+    instances_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `lifecycles` full open→crash→await→read→close cycles on one
+/// session, all instances on `side`×`side` tori with `shards` workers.
+/// Returns (per-command latencies in µs, total wall seconds).
+fn run_cell(shards: usize, side: usize, lifecycles: usize) -> (Vec<f64>, f64) {
+    let mut session = ServeSession::new(shards);
+    let center = (side / 2) * side + side / 2;
+    let border = center - 1;
+    let mut latencies = Vec::with_capacity(lifecycles * 5);
+    let started = Instant::now();
+    for k in 0..lifecycles {
+        let commands = [
+            format!(r#"{{"cmd":"open","id":"i{k}","topology":"torus:{side}","shards":{shards}}}"#),
+            format!(r#"{{"cmd":"crash","id":"i{k}","node":{center}}}"#),
+            format!(r#"{{"cmd":"await","id":"i{k}","quiet_ms":{QUIET_MS},"timeout_ms":60000}}"#),
+            format!(r#"{{"cmd":"read","id":"i{k}","node":{border}}}"#),
+            format!(r#"{{"cmd":"close","id":"i{k}"}}"#),
+        ];
+        for cmd in &commands {
+            let t0 = Instant::now();
+            let reply = session.handle_line(cmd);
+            latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            assert!(reply.contains(r#""ok":true"#), "cmd {cmd} -> {reply}");
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let bye = session.handle_line(r#"{"cmd":"shutdown"}"#);
+    assert!(bye.contains(r#""ok":true"#), "shutdown: {bye}");
+    (latencies, wall)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    let test_mode = has("--test");
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let (sides, lifecycles): (Vec<usize>, usize) = if test_mode {
+        (vec![4, 8], 3)
+    } else {
+        (vec![16, 64, 256], 8)
+    };
+
+    let mut rows: Vec<ServeRow> = Vec::new();
+    println!(
+        "{:>7} {:>9} {:>10} {:>15} {:>10} {:>10}",
+        "shards", "nodes", "commands", "instances/sec", "p50 µs", "p99 µs"
+    );
+    for &shards in &SHARD_COUNTS {
+        for &side in &sides {
+            let (mut latencies, wall) = run_cell(shards, side, lifecycles);
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+            let row = ServeRow {
+                shards,
+                nodes: side * side,
+                commands: latencies.len(),
+                instances_per_sec: lifecycles as f64 / wall,
+                p50_us: percentile(&latencies, 0.50),
+                p99_us: percentile(&latencies, 0.99),
+            };
+            println!(
+                "{:>7} {:>9} {:>10} {:>15.2} {:>10.1} {:>10.1}",
+                row.shards, row.nodes, row.commands, row.instances_per_sec, row.p50_us, row.p99_us
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-serve/1\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", Jobs::available().get());
+    let _ = writeln!(json, "  \"test_mode\": {test_mode},");
+    let _ = writeln!(json, "  \"lifecycles_per_cell\": {lifecycles},");
+    let _ = writeln!(json, "  \"quiet_ms\": {QUIET_MS},");
+    json.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shards\": {}, \"nodes\": {}, \"commands\": {}, \
+             \"instances_per_sec\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            r.shards, r.nodes, r.commands, r.instances_per_sec, r.p50_us, r.p99_us,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

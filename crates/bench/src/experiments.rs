@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use precipice_core::ProtocolConfig;
 use precipice_graph::{NodeId, Region};
-use precipice_net::LiveCluster;
+use precipice_net::{gated_run, LiveCluster, ShardedCluster};
 use precipice_runtime::{Exec, Scenario};
 use precipice_sim::SimTime;
 use precipice_workload::figures::{figure3_scenario, Figure1, Figure2};
@@ -660,30 +660,52 @@ pub fn e7_ablations(jobs: Jobs) -> Vec<Table> {
     vec![t, t2]
 }
 
-/// E8 — the live thread backend vs the simulator: identical decisions on
+/// E8 — the live backends vs the simulator: identical decisions on
 /// deterministic scenarios, plus wall-clock cost of each backend.
 ///
-/// The simulator side is deterministic; everything observed from the
-/// live backend (decider counts under multi-kill races, wall-clocks)
-/// depends on real thread scheduling, so those columns live in a
-/// volatile table excluded from determinism diffs. The quiescence
-/// invariant (`Oracle::pending() == 0` after a quiescent run) is
-/// asserted on every invocation; the identical/spec-consistent verdicts
-/// are reported in the volatile table.
+/// Three live observations per case:
+///
+/// - **gated** (deterministic table): one gated schedule of the sharded
+///   runtime ([`gated_run`], fixed seed). Deterministic in the scenario
+///   and seed and **independent of the shard count** — CI byte-diffs
+///   this table at `PRECIPICE_SHARDS=1` vs `2` to keep that honest.
+/// - **threaded** and **sharded** free-running (volatile table):
+///   decider counts under real scheduling plus wall-clocks, excluded
+///   from determinism diffs. The quiescence invariant
+///   (`Oracle::pending() == 0` after a quiescent run) is asserted on
+///   every invocation; the identical/spec-consistent verdicts are
+///   reported in the volatile table.
+///
+/// `PRECIPICE_SHARDS` selects the sharded backend's worker count
+/// (default 2).
 pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
+    let shards: usize = std::env::var("PRECIPICE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2);
     let mut t = Table::new(
-        "E8 — simulator side (deterministic)",
-        ["topology", "kills", "sim deciders", "sim messages"],
+        "E8 — simulator and gated live schedules (deterministic)",
+        [
+            "topology",
+            "kills",
+            "sim deciders",
+            "sim messages",
+            "gated live deciders",
+            "gated order hash",
+        ],
     );
     let mut live = Table::new(
-        "E8 — live threads vs simulator (volatile: thread scheduling, wall-clock)",
+        "E8 — live backends vs simulator (volatile: thread scheduling, wall-clock)",
         [
             "topology",
             "live deciders",
+            "sharded deciders",
             "identical decisions",
             "live spec-consistent",
             "sim wall (ms)",
             "live wall (ms)",
+            "sharded wall (ms)",
         ],
     )
     .mark_volatile();
@@ -705,6 +727,18 @@ pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
             vec![NodeId(14)],
         ),
     ];
+    struct E8Row {
+        quiescent: bool,
+        sim_messages: u64,
+        sim_decisions: BTreeMap<NodeId, (Region, NodeId)>,
+        live_decisions: BTreeMap<NodeId, (Region, NodeId)>,
+        sharded_decisions: BTreeMap<NodeId, (Region, NodeId)>,
+        gated_deciders: usize,
+        gated_hash: u64,
+        sim_wall: f64,
+        live_wall: f64,
+        sharded_wall: f64,
+    }
     let results = SweepSpec::new(jobs).map(&cases, |_, (_, graph, kills)| {
         // Simulator run.
         let sim_started = Instant::now();
@@ -721,7 +755,7 @@ pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
             .map(|(&n, d)| (n, (d.view.region().clone(), d.value)))
             .collect();
 
-        // Live run.
+        // Live thread-per-node run.
         let live_started = Instant::now();
         let mut cluster = LiveCluster::start(graph.clone(), ProtocolConfig::default());
         for &k in kills {
@@ -744,39 +778,78 @@ pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
             .iter()
             .map(|(&n, (v, d))| (n, (v.region().clone(), *d)))
             .collect();
-        (
-            quiescent,
+
+        // Sharded event-loop run, free-running (same quiescence
+        // contract, re-expressed as per-shard pending counters).
+        let sharded_started = Instant::now();
+        let mut sharded = ShardedCluster::start(graph.clone(), ProtocolConfig::default(), shards);
+        for &k in kills {
+            sharded.kill(k);
+        }
+        let sharded_quiescent = sharded.await_quiescence(
+            std::time::Duration::from_millis(150),
+            std::time::Duration::from_secs(30),
+        );
+        assert!(
+            !sharded_quiescent || sharded.pending() == 0,
+            "sharded quiescent with outstanding events"
+        );
+        let sharded_report = sharded.shutdown();
+        let sharded_wall = sharded_started.elapsed().as_secs_f64() * 1000.0;
+        let sharded_decisions: BTreeMap<NodeId, (Region, NodeId)> = sharded_report
+            .decisions
+            .iter()
+            .map(|(&n, (v, d))| (n, (v.region().clone(), *d)))
+            .collect();
+
+        // One gated schedule: deterministic in (scenario, seed) and
+        // independent of the shard count — safe for the byte-diff table.
+        let gated = gated_run(
+            std::sync::Arc::new(graph.clone()),
+            ProtocolConfig::default(),
+            shards,
+            kills,
+            5,
+        );
+
+        E8Row {
+            quiescent: quiescent && sharded_quiescent,
             sim_messages,
             sim_decisions,
             live_decisions,
+            sharded_decisions,
+            gated_deciders: gated.report.decisions.len(),
+            gated_hash: gated.order_hash,
             sim_wall,
             live_wall,
-        )
+            sharded_wall,
+        }
     });
-    for (
-        (label, _, kills),
-        (quiescent, sim_messages, sim_decisions, live_decisions, sim_wall, live_wall),
-    ) in cases.iter().zip(results)
-    {
+    for ((label, _, kills), row) in cases.iter().zip(results) {
         // Multi-kill outcomes are legitimately schedule-dependent (weak
         // progress): equality with one particular sim schedule is only
         // meaningful for single kills. Spec consistency always is:
         // decided regions contain only killed nodes, equal regions get
         // equal values, distinct regions never partially overlap.
         let identical = if kills.len() == 1 {
-            (quiescent && sim_decisions == live_decisions).to_string()
+            (row.quiescent
+                && row.sim_decisions == row.live_decisions
+                && row.sim_decisions == row.sharded_decisions)
+                .to_string()
         } else {
             "n/a (schedule-dependent)".to_owned()
         };
-        let mut consistent = quiescent && !live_decisions.is_empty();
-        let live_vec: Vec<&(Region, NodeId)> = live_decisions.values().collect();
-        for (i, (ra, va)) in live_vec.iter().enumerate() {
-            consistent &= ra.iter().all(|m| kills.contains(&m));
-            for (rb, vb) in live_vec.iter().skip(i + 1) {
-                if ra == rb {
-                    consistent &= va == vb;
-                } else {
-                    consistent &= !ra.intersects(rb);
+        let mut consistent = row.quiescent && !row.live_decisions.is_empty();
+        for decisions in [&row.live_decisions, &row.sharded_decisions] {
+            let live_vec: Vec<&(Region, NodeId)> = decisions.values().collect();
+            for (i, (ra, va)) in live_vec.iter().enumerate() {
+                consistent &= ra.iter().all(|m| kills.contains(&m));
+                for (rb, vb) in live_vec.iter().skip(i + 1) {
+                    if ra == rb {
+                        consistent &= va == vb;
+                    } else {
+                        consistent &= !ra.intersects(rb);
+                    }
                 }
             }
         }
@@ -784,16 +857,20 @@ pub fn e8_live_backend(jobs: Jobs) -> Vec<Table> {
         t.push_row([
             (*label).to_owned(),
             kills.len().to_string(),
-            sim_decisions.len().to_string(),
-            sim_messages.to_string(),
+            row.sim_decisions.len().to_string(),
+            row.sim_messages.to_string(),
+            row.gated_deciders.to_string(),
+            format!("{:#018x}", row.gated_hash),
         ]);
         live.push_row([
             (*label).to_owned(),
-            live_decisions.len().to_string(),
+            row.live_decisions.len().to_string(),
+            row.sharded_decisions.len().to_string(),
             identical,
             consistent.to_string(),
-            fmt_num(sim_wall),
-            fmt_num(live_wall),
+            fmt_num(row.sim_wall),
+            fmt_num(row.live_wall),
+            fmt_num(row.sharded_wall),
         ]);
     }
     vec![t, live]

@@ -48,6 +48,7 @@
 
 mod config;
 mod instance;
+pub mod json;
 mod message;
 mod node;
 mod policy;

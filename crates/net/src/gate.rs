@@ -1,0 +1,378 @@
+//! Delivery gating: deterministic schedule exploration on the *real*
+//! sharded backend.
+//!
+//! The sim side explores adversarial schedules by replacing its event
+//! queue's ordering (`SchedulePolicy`). The live backend has no queue
+//! to reorder — events race through rings — so this module ports the
+//! idea as a **gate**: with a gate installed, the router parks every
+//! would-be post (protocol message or crash notification) in a central
+//! table instead of the shard rings, and a controller releases exactly
+//! one event at a time, waiting for the shards to go idle between
+//! releases. The run still exercises the real machinery — shard
+//! threads, rings, lazy activation, pending counters, the graph-backed
+//! FD — but its interleaving becomes a pure function of the
+//! controller's random seed.
+//!
+//! The enabled set mirrors the sim explorer's frontier: every pending
+//! crash *injection*, every parked crash *notification*, and — per
+//! `(from, to)` channel — only the **earliest** parked delivery (live
+//! channels are FIFO, so later messages on a channel cannot overtake).
+//!
+//! One release is one tick of a logical clock; crash injections and
+//! decisions are stamped with it, which is what lets the runtime's
+//! checker replay its timing-sensitive properties (CD2) against a live
+//! run.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use precipice_core::{ProtocolConfig, View};
+use precipice_graph::{Graph, NodeId};
+
+use crate::cluster::LiveReport;
+use crate::shard::{ShardEvent, ShardedCluster};
+
+/// Where the router parks events while a gate controller is driving.
+#[derive(Debug)]
+pub(crate) struct Gate<V> {
+    parked: Mutex<VecDeque<(u64, ShardEvent<V>)>>,
+    next_seq: Mutex<u64>,
+}
+
+impl<V> Gate<V> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Gate {
+            parked: Mutex::new(VecDeque::new()),
+            next_seq: Mutex::new(0),
+        })
+    }
+
+    /// Parks `event`, preserving global arrival order via a sequence
+    /// number (channel FIFO needs it).
+    pub(crate) fn park(&self, event: ShardEvent<V>) {
+        let mut seq = self.next_seq.lock().expect("gate seq lock");
+        let n = *seq;
+        *seq += 1;
+        self.parked
+            .lock()
+            .expect("gate queue lock")
+            .push_back((n, event));
+    }
+
+    /// Removes and returns the parked event with sequence `seq`.
+    fn take(&self, seq: u64) -> Option<ShardEvent<V>> {
+        let mut parked = self.parked.lock().expect("gate queue lock");
+        let at = parked.iter().position(|(s, _)| *s == seq)?;
+        parked.remove(at).map(|(_, ev)| ev)
+    }
+
+    /// The current frontier: all parked notifications plus, per
+    /// `(from, to)` channel, the earliest parked delivery. Returned as
+    /// `(seq, label)` in sequence order.
+    fn enabled(&self) -> Vec<(u64, EventLabel)> {
+        let parked = self.parked.lock().expect("gate queue lock");
+        let mut earliest: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for (seq, ev) in parked.iter() {
+            match ev {
+                ShardEvent::Notify { to, crashed } => {
+                    out.push((
+                        *seq,
+                        EventLabel::Notify {
+                            to: *to,
+                            crashed: *crashed,
+                        },
+                    ));
+                }
+                ShardEvent::Deliver { to, from, .. } => {
+                    earliest.entry((*from, *to)).or_insert(*seq);
+                }
+            }
+        }
+        for ((from, to), seq) in earliest {
+            out.push((seq, EventLabel::Deliver { from, to }));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out
+    }
+}
+
+/// What a released event was, for hashing and message-pair recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventLabel {
+    /// A crash notification to `to` about `crashed`.
+    Notify {
+        /// Observer being notified.
+        to: NodeId,
+        /// The crashed node.
+        crashed: NodeId,
+    },
+    /// A protocol message on channel `(from, to)`.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+}
+
+/// Everything a gated run observed, in logical-clock terms.
+///
+/// `crash_steps` / `decision_steps` are release-clock stamps: a node's
+/// decision step is always greater than the steps of the crashes it
+/// reacted to, which is what the runtime checker's timing-sensitive
+/// properties need.
+#[derive(Debug)]
+pub struct GatedOutcome {
+    /// Final report, same shape as a free-running shutdown.
+    pub report: LiveReport,
+    /// Every `(from, to)` protocol delivery, in release order.
+    pub message_pairs: Vec<(NodeId, NodeId)>,
+    /// Release step at which each node was crash-injected.
+    pub crash_steps: Vec<(NodeId, u64)>,
+    /// Release step at which each node decided.
+    pub decision_steps: BTreeMap<NodeId, u64>,
+    /// Total events released (the run's logical length).
+    pub released: u64,
+    /// FNV-1a hash of the release sequence — two gated runs explored
+    /// the same schedule iff their order hashes match.
+    pub order_hash: u64,
+}
+
+/// Runs one fully-gated schedule of the sharded backend: crash `kills`
+/// (in the given order preference; the seed decides actual placement)
+/// on `graph` and drive every delivery one release at a time.
+///
+/// Deterministic: the outcome is a pure function of
+/// `(graph, config, kills, seed)` — independent of `shards`, wall-clock
+/// speed, and thread scheduling. Exercised by the differential tests
+/// and `precipice check --backend live`.
+///
+/// # Panics
+///
+/// Panics if the shards fail to drain a released event within a
+/// generous internal timeout (only possible if a shard thread died).
+pub fn gated_run(
+    graph: Arc<Graph>,
+    config: ProtocolConfig,
+    shards: usize,
+    kills: &[NodeId],
+    seed: u64,
+) -> GatedOutcome {
+    let gate = Gate::new();
+    let mut cluster = ShardedCluster::launch(
+        Arc::clone(&graph),
+        config,
+        shards,
+        |_me| precipice_core::NodeIdValuePolicy,
+        Some(Arc::clone(&gate)),
+    );
+
+    let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut injections: VecDeque<NodeId> = kills.iter().copied().collect();
+    let mut pairs = Vec::new();
+    let mut crash_steps = Vec::new();
+    let mut released = 0u64;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+
+    loop {
+        // Frontier: all remaining injections + the gate's enabled set.
+        let parked = gate.enabled();
+        let choices = injections.len() + parked.len();
+        if choices == 0 {
+            break;
+        }
+        let pick = (splitmix(&mut rng) % choices as u64) as usize;
+        let step = cluster.bump_step();
+        released += 1;
+        if pick < injections.len() {
+            let victim = injections.remove(pick).expect("index in range");
+            crash_steps.push((victim, step));
+            hash = fnv(hash, &[1, victim.0 as u64, 0, step]);
+            cluster.kill(victim);
+            // A kill's notifications park in the gate; nothing to wait
+            // for.
+            continue;
+        }
+        let (seq, label) = parked[pick - injections.len()];
+        let event = gate.take(seq).expect("enabled event still parked");
+        match label {
+            EventLabel::Deliver { from, to } => {
+                pairs.push((from, to));
+                hash = fnv(hash, &[2, from.0 as u64, to.0 as u64, step]);
+            }
+            EventLabel::Notify { to, crashed } => {
+                hash = fnv(hash, &[3, to.0 as u64, crashed.0 as u64, step]);
+            }
+        }
+        cluster.release_gated(event);
+        drain(&cluster);
+    }
+
+    let decision_steps = cluster.decision_steps();
+    let report = cluster.shutdown();
+    GatedOutcome {
+        report,
+        message_pairs: pairs,
+        crash_steps,
+        decision_steps,
+        released,
+        order_hash: hash,
+    }
+}
+
+/// Busy-waits (with micro-sleeps) until the shards finished the one
+/// event in flight. Handler outputs go back to the gate, so this
+/// settles after exactly one handler invocation.
+fn drain<P>(cluster: &ShardedCluster<P>)
+where
+    P: precipice_core::DecisionPolicy + Send + 'static,
+    P::Value: Send + Sync,
+{
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while cluster.pending() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "shard failed to drain a gated release"
+        );
+        std::thread::sleep(Duration::from_micros(20));
+    }
+}
+
+/// SplitMix64 — the repo's standard tiny deterministic RNG.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a few words.
+fn fnv(mut hash: u64, words: &[u64]) -> u64 {
+    for w in words {
+        for byte in w.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Sanity verdict over a gated (or free-running) live report: every
+/// decision internally consistent and all pairs in agreement. This is
+/// the cheap live-side check; the full CD1–CD7 oracle lives in the
+/// runtime crate and runs over an assembled `RunReport`.
+pub fn live_consistent(report: &LiveReport, graph: &Graph) -> bool {
+    let killed: BTreeSet<NodeId> = report.killed.iter().copied().collect();
+    for (node, (view, _)) in &report.decisions {
+        if !view.region().iter().all(|q| killed.contains(&q)) {
+            return false;
+        }
+        if !view.border().contains(*node) {
+            return false;
+        }
+        if View::new(graph, view.region().clone()).border() != view.border() {
+            return false;
+        }
+    }
+    for (a, (va, da)) in &report.decisions {
+        for (b, (vb, db)) in &report.decisions {
+            if a >= b {
+                continue;
+            }
+            let overlap = va.region().intersects(vb.region());
+            if overlap && (va != vb || da != db) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precipice_graph::{path, torus, GridDims};
+
+    #[test]
+    fn gated_run_is_deterministic_per_seed() {
+        let graph = Arc::new(torus(GridDims::square(4)));
+        let a = gated_run(
+            Arc::clone(&graph),
+            ProtocolConfig::default(),
+            1,
+            &[NodeId(9)],
+            7,
+        );
+        let b = gated_run(
+            Arc::clone(&graph),
+            ProtocolConfig::default(),
+            1,
+            &[NodeId(9)],
+            7,
+        );
+        assert_eq!(a.order_hash, b.order_hash);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.message_pairs, b.message_pairs);
+        assert_eq!(a.decision_steps, b.decision_steps);
+    }
+
+    #[test]
+    fn gated_run_is_shard_count_independent() {
+        let graph = Arc::new(torus(GridDims::square(4)));
+        let one = gated_run(
+            Arc::clone(&graph),
+            ProtocolConfig::default(),
+            1,
+            &[NodeId(5)],
+            3,
+        );
+        let four = gated_run(
+            Arc::clone(&graph),
+            ProtocolConfig::default(),
+            4,
+            &[NodeId(5)],
+            3,
+        );
+        assert_eq!(one.order_hash, four.order_hash);
+        assert_eq!(one.report, four.report);
+    }
+
+    #[test]
+    fn different_seeds_explore_different_orders() {
+        let graph = Arc::new(torus(GridDims::square(4)));
+        let hashes: BTreeSet<u64> = (0..6)
+            .map(|seed| {
+                gated_run(
+                    Arc::clone(&graph),
+                    ProtocolConfig::default(),
+                    2,
+                    &[NodeId(5), NodeId(6)],
+                    seed,
+                )
+                .order_hash
+            })
+            .collect();
+        assert!(hashes.len() > 1, "six seeds must not all collapse");
+    }
+
+    #[test]
+    fn gated_agreement_matches_protocol_on_path() {
+        let outcome = gated_run(
+            Arc::new(path(5)),
+            ProtocolConfig::default(),
+            2,
+            &[NodeId(2)],
+            11,
+        );
+        assert_eq!(outcome.report.decisions.len(), 2);
+        assert!(live_consistent(&outcome.report, &path(5)));
+        // Decisions happen strictly after the crash they react to.
+        let crash_step = outcome.crash_steps[0].1;
+        for &at in outcome.decision_steps.values() {
+            assert!(at > crash_step);
+        }
+    }
+}

@@ -1,41 +1,64 @@
-//! Live thread-per-node backend for cliff-edge consensus.
+//! Live backends for cliff-edge consensus: a sharded event-loop runtime
+//! (the default) and the original thread-per-node reference.
 //!
-//! Runs the exact same sans-io [`CliffEdgeNode`](precipice_core::CliffEdgeNode)
-//! state machine as the simulator, but on real OS threads exchanging
-//! messages over `crossbeam` FIFO channels — demonstrating that the
-//! protocol core is transport-agnostic and exercising it under genuine
-//! concurrency and nondeterministic scheduling (experiment E8).
+//! Both run the exact same sans-io
+//! [`CliffEdgeNode`](precipice_core::CliffEdgeNode) state machine as the
+//! simulator, under genuine concurrency and nondeterministic scheduling
+//! (experiment E8) — demonstrating that the protocol core is
+//! transport-agnostic.
 //!
-//! The paper's perfect failure detector is provided by a **kill-switch
-//! oracle**: crashes are always *induced* (via [`LiveCluster::kill`]), so
-//! the oracle knows the ground truth and can notify subscribers without
-//! ever suspecting a live node — the only way to realize a perfect FD in
-//! an asynchronous system. A killed node stops processing immediately
-//! (its kill flag is checked before every event) and its queued inbox is
-//! discarded; messages it sent earlier remain in flight, matching the
-//! paper's reliable-channel model.
+//! - [`ShardedCluster`] — `W` worker shards own disjoint ranges of one
+//!   shared topology (owned or mapped `.pcsr`), activate nodes on
+//!   demand, and exchange events over bounded MPSC [`ring`]s. This is
+//!   the backend behind `Engine::Live`, `precipice serve`
+//!   ([`ServeSession`]) and live schedule exploration ([`gated_run`]).
+//!   Footprint is proportional to the *touched* nodes, so one process
+//!   hosts 10⁶-node topologies.
+//! - [`LiveCluster`] — one OS thread and one unbounded channel per
+//!   node. Kept as the executable reference the sharded runtime is
+//!   differentially tested against (`tests/sharded_vs_threaded.rs`);
+//!   practical to a few thousand nodes.
+//!
+//! The paper's perfect failure detector is a **kill-switch oracle** in
+//! both backends: crashes are always *induced* (via `kill`), so the
+//! runtime knows the ground truth and can notify observers without ever
+//! suspecting a live node — the only way to realize a perfect FD in an
+//! asynchronous system. The sharded runtime resolves observers from the
+//! shared graph (neighbours are implicitly subscribed, so passive nodes
+//! are never woken just to subscribe), exactly like the sim's
+//! graph-backed detector. A killed node stops processing immediately —
+//! queued and in-flight events addressed to it are dropped — while
+//! messages it sent earlier remain deliverable, matching the paper's
+//! reliable-channel model.
 //!
 //! # Example
 //!
 //! ```
-//! use precipice_graph::{path, NodeId};
-//! use precipice_net::LiveCluster;
+//! use precipice_graph::{torus, GridDims, NodeId};
+//! use precipice_net::ShardedCluster;
 //! use std::time::Duration;
 //!
-//! let mut cluster = LiveCluster::start(path(3), Default::default());
-//! cluster.kill(NodeId(1));
+//! let mut cluster = ShardedCluster::start(torus(GridDims::square(4)), Default::default(), 2);
+//! cluster.kill(NodeId(9));
 //! assert!(cluster.await_quiescence(Duration::from_millis(100), Duration::from_secs(10)));
+//! // Only the 4 border nodes ever materialized.
+//! assert_eq!(cluster.activated(), 4);
 //! let report = cluster.shutdown();
-//! let d0 = &report.decisions[&NodeId(0)];
-//! let d2 = &report.decisions[&NodeId(2)];
-//! assert_eq!(d0, d2);
+//! assert_eq!(report.decisions.len(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod cluster;
+mod gate;
 mod oracle;
+pub mod ring;
+mod serve;
+mod shard;
 
 pub use cluster::{LiveCluster, LiveReport};
+pub use gate::{gated_run, live_consistent, GatedOutcome};
 pub use oracle::Oracle;
+pub use serve::ServeSession;
+pub use shard::{RouterCounters, ShardedCluster};

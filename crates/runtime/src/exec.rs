@@ -1,22 +1,18 @@
 //! The unified scenario execution API: [`Exec`] options in,
 //! [`ExecOutcome`] out.
 //!
-//! Historically [`Scenario`](crate::Scenario) grew six `run*` variants
-//! (`run`, `run_scheduled`, `run_with_policy`,
-//! `run_scheduled_with_policy`, `run_eager_scheduled_with_policy`,
-//! `run_eager`) — a 2×3 matrix of decision-policy × engine choices with
-//! inconsistent return shapes (`Option<Schedule>` here,
-//! `unwrap_or_default()` there). [`Scenario::exec`](crate::Scenario::exec)
-//! collapses the matrix: one entry point taking an [`Exec`] options
-//! value (decision-policy factory, [`SchedulePolicy`], [`Engine`]) and
-//! always returning the recorded schedule. The old names survive as
-//! thin `#[deprecated]` forwarders with their historical signatures.
+//! [`Scenario::exec`](crate::Scenario::exec) is the single entry point
+//! for every backend: one call taking an [`Exec`] options value
+//! (decision-policy factory, [`SchedulePolicy`], [`Engine`]) and always
+//! returning the report together with the recorded schedule. (It
+//! replaced the historical 2×3 matrix of `run*` methods; their
+//! deprecated forwarders have since been removed.)
 //!
 //! # Engine equivalence contract
 //!
-//! All three engines produce **bit-identical** observables for the same
-//! scenario and options — same [`RunReport`] (trace hash, metrics,
-//! decisions, stats) and same recorded [`Schedule`]:
+//! The three *simulated* engines produce **bit-identical** observables
+//! for the same scenario and options — same [`RunReport`] (trace hash,
+//! metrics, decisions, stats) and same recorded [`Schedule`]:
 //!
 //! - [`Engine::Lazy`] (default): footprint-proportional scalar run;
 //!   processes spawn immediately before their first event.
@@ -30,23 +26,18 @@
 //!   arenas across thousands of runs. Equivalence is enforced by the
 //!   `batched ≡ scalar` differential tests and the CI byte-diff job.
 //!
-//! # Deprecation path
+//! # The live engine
 //!
-//! The `run*` forwarders are kept for one release cycle so downstream
-//! code migrates mechanically:
-//!
-//! | old call | replacement |
-//! |---|---|
-//! | `s.run()` | `s.exec(Exec::new()).report` |
-//! | `s.run_scheduled(p)` | `s.exec(Exec::new().schedule(p))` |
-//! | `s.run_with_policy(f)` | `s.exec(Exec::new().decide_with(f)).report` |
-//! | `s.run_scheduled_with_policy(f, p)` | `s.exec(Exec::new().decide_with(f).schedule(p))` |
-//! | `s.run_eager_scheduled_with_policy(f, p)` | `s.exec(Exec::new().decide_with(f).schedule(p).engine(Engine::Eager))` |
-//! | `s.run_eager()` | `s.exec(Exec::new().engine(Engine::Eager)).report` |
-//!
-//! The only semantic delta: `exec` returns the schedule
-//! unconditionally ([`Schedule::fifo`] when nothing deviated) instead
-//! of `Option<Schedule>`.
+//! [`Engine::Live`] steps outside the simulation: the scenario runs on
+//! the sharded event-loop runtime (`precipice-net`) with real threads
+//! and real queues. Decisions, views and protocol stats still match
+//! the simulated engines (the state machine is identical), but the
+//! schedule is whatever the OS produced: timing fields are coarse
+//! logical stamps, the trace hash is zero, `message_pairs` is absent
+//! and the scenario's [`SchedulePolicy`] and latency model do not
+//! apply. For *deterministic* live schedules use
+//! [`probe_live`](crate::probe_live), which gates the same backend one
+//! released event at a time.
 
 use precipice_core::{DecisionPolicy, NodeIdValuePolicy};
 use precipice_graph::NodeId;
@@ -73,6 +64,14 @@ pub enum Engine {
     Batched {
         /// Run slots per lockstep wave.
         k: usize,
+    },
+    /// The sharded live backend (`precipice-net`): real worker threads
+    /// own disjoint node ranges and exchange events over bounded MPSC
+    /// rings. Free-running — observably equivalent on decisions, views
+    /// and stats, but not on schedules (see the [module docs](self)).
+    Live {
+        /// Worker shard count (clamped to at least 1).
+        shards: usize,
     },
 }
 
@@ -177,15 +176,4 @@ pub struct ExecOutcome<V> {
     /// The scheduling deviations actually taken (replayable; empty for
     /// a pure-FIFO execution).
     pub schedule: Schedule,
-}
-
-impl<V> ExecOutcome<V> {
-    /// Splits into the historical `(report, Option<Schedule>)` shape:
-    /// `Some` iff the run used an exploring policy (the deprecated
-    /// forwarders' contract, where FIFO returns `None` even though its
-    /// recorded schedule would be empty anyway).
-    pub(crate) fn into_legacy(self, policy_was_fifo: bool) -> (RunReport<V>, Option<Schedule>) {
-        let schedule = (!policy_was_fifo).then_some(self.schedule);
-        (self.report, schedule)
-    }
 }

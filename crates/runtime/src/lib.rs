@@ -11,6 +11,10 @@
 //!   policy × scheduling policy × [`Engine`]); [`BatchRunner`] drives
 //!   whole seed sweeps and fuzz budgets through the lockstep batch
 //!   engine with identical per-run results.
+//! - [`Engine::Live`](exec::Engine::Live) targets the sharded live
+//!   runtime (`precipice-net`) through the same `exec` call, and
+//!   [`probe_live`] explores deterministic *gated* schedules on that
+//!   backend — the engine behind `precipice check --backend live`.
 //! - [`RunReport`] collects decisions, metrics and per-node statistics.
 //! - [`check_spec`] verifies every CD property against a report and
 //!   returns the violations (an empty list on a correct run). This turns
@@ -44,6 +48,7 @@ mod checker;
 mod domains;
 pub mod exec;
 pub mod explore;
+mod live;
 mod predicate;
 mod report;
 mod scenario;
@@ -56,6 +61,7 @@ pub use exec::{Engine, Exec, ExecOutcome};
 pub use explore::{
     probe, render_violations, shrink_schedule, Artifact, Counterexample, ScheduleProbe,
 };
+pub use live::probe_live;
 pub use predicate::{PredicateScenario, PredicateScenarioBuilder};
 pub use report::{Decision, RunDigest, RunReport};
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -1,0 +1,287 @@
+//! The live-backend execution adapter: runs a [`Scenario`] on the
+//! sharded event-loop runtime ([`precipice_net::ShardedCluster`]) and
+//! re-expresses the outcome as the same [`RunReport`] every other
+//! engine produces.
+//!
+//! Two modes, mirroring the sim side's run-vs-explore split:
+//!
+//! - [`exec_live`] (behind [`Engine::Live`](crate::Engine::Live)) —
+//!   free-running: real threads, real rings, nondeterministic
+//!   interleavings. Wall-clock timing is not simulated, so decision
+//!   times are stamped on a coarse logical clock (all at or after the
+//!   last scheduled crash), the trace hash is zero, and
+//!   `message_pairs` is `None` (CD3 is a per-schedule property; a
+//!   free-running report has no single schedule to pin it to).
+//! - [`probe_live`] — one *gated* schedule: the controller releases
+//!   events one at a time ([`precipice_net::gated_run`]), so the
+//!   outcome is a pure function of `(scenario, seed)`, timestamps are
+//!   release-clock steps, and `message_pairs` is recorded. This is the
+//!   backend behind `precipice check --backend live`: the same
+//!   [`check_spec`](crate::check_spec) properties, checked against the
+//!   real runtime instead of the simulator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use precipice_core::DecisionPolicy;
+use precipice_graph::NodeId;
+use precipice_net::{gated_run, ShardedCluster};
+use precipice_sim::{Metrics, RunOutcome, Schedule, SimTime};
+
+use crate::exec::ExecOutcome;
+use crate::report::{Decision, RunReport};
+use crate::scenario::Scenario;
+
+/// Quiet window after which the live run is considered drained.
+const QUIET: Duration = Duration::from_millis(100);
+/// Hard wall-clock cap on a free-running live execution.
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Runs `scenario` free-running on the sharded live backend with
+/// `shards` worker threads (the [`Engine::Live`](crate::Engine::Live)
+/// arm of [`Scenario::exec`]).
+///
+/// The simulator's latency model and schedule policy do not apply —
+/// the OS scheduler provides the nondeterminism — so only the
+/// scenario's graph, protocol config and crash *order* (by scheduled
+/// time, ties by node id) carry over. Decisions are stamped at one
+/// tick past the latest scheduled crash time, which keeps the
+/// agreement- and timing-properties of [`check_spec`](crate::check_spec)
+/// meaningful on the resulting report.
+pub(crate) fn exec_live<P, F>(
+    scenario: &Scenario,
+    shards: usize,
+    make_policy: F,
+) -> ExecOutcome<P::Value>
+where
+    P: DecisionPolicy + Send + 'static,
+    P::Value: Send + Sync,
+    F: FnMut(NodeId) -> P + Send + 'static,
+{
+    let graph = Arc::clone(&scenario.graph);
+    let mut cluster =
+        ShardedCluster::start_with(Arc::clone(&graph), scenario.protocol, shards, make_policy);
+
+    let mut kills = scenario.crashes.clone();
+    kills.sort_by_key(|&(node, at)| (at, node));
+    for &(node, _) in &kills {
+        cluster.kill(node);
+    }
+    let quiescent = cluster.await_quiescence(QUIET, TIMEOUT);
+
+    let counters = cluster.counters();
+    let report = cluster.shutdown();
+
+    let crashed: BTreeMap<NodeId, SimTime> = scenario.crashes.iter().copied().collect();
+    // Every decision reacts to at least one induced crash, so stamping
+    // all of them one tick after the last scheduled crash preserves
+    // "crash before decision" (CD2) without pretending the live run
+    // had simulated latencies.
+    let decided_at =
+        crashed.values().copied().max().unwrap_or(SimTime::ZERO) + SimTime::from_micros(1);
+    let decisions = report
+        .decisions
+        .into_iter()
+        .map(|(node, (view, value))| {
+            (
+                node,
+                Decision {
+                    view,
+                    value,
+                    at: decided_at,
+                },
+            )
+        })
+        .collect();
+
+    let mut metrics = Metrics::default();
+    metrics.record_backend_totals(
+        counters.messages_sent,
+        counters.bytes_sent,
+        counters.delivered,
+        counters.dropped,
+        counters.notifications,
+        counters.events,
+    );
+
+    let outcome = if quiescent {
+        RunOutcome::Quiescent {
+            events: counters.events,
+            at: decided_at,
+        }
+    } else {
+        RunOutcome::LimitReached {
+            events: counters.events,
+            at: decided_at,
+        }
+    };
+
+    ExecOutcome {
+        report: RunReport {
+            graph,
+            crashed,
+            decisions,
+            metrics,
+            stats: report.stats,
+            message_pairs: None,
+            trace_hash: 0,
+            outcome,
+        },
+        schedule: Schedule::default(),
+    }
+}
+
+/// Explores one gated schedule of `scenario` on the live backend and
+/// returns a fully-checkable [`RunReport`].
+///
+/// Deterministic in `(scenario, seed)` and independent of `shards` —
+/// the gate serializes the run to one released event at a time (see
+/// [`precipice_net::gated_run`]). Timestamps are the release clock
+/// mapped to microseconds, so crash stamps always precede the decision
+/// stamps of the nodes that reacted to them, and `message_pairs`
+/// carries the full delivery sequence for the locality check (CD3).
+/// The report's `trace_hash` is the schedule's order hash: two probes
+/// collide iff they explored the same release sequence.
+pub fn probe_live(scenario: &Scenario, shards: usize, seed: u64) -> RunReport<NodeId> {
+    let mut kills: Vec<(NodeId, SimTime)> = scenario.crashes.clone();
+    kills.sort_by_key(|&(node, at)| (at, node));
+    let kill_order: Vec<NodeId> = kills.iter().map(|&(node, _)| node).collect();
+
+    let outcome = gated_run(
+        Arc::clone(&scenario.graph),
+        scenario.protocol,
+        shards,
+        &kill_order,
+        seed,
+    );
+
+    let crashed: BTreeMap<NodeId, SimTime> = outcome
+        .crash_steps
+        .iter()
+        .map(|&(node, step)| (node, SimTime::from_micros(step)))
+        .collect();
+    let decisions: BTreeMap<NodeId, Decision<NodeId>> = outcome
+        .report
+        .decisions
+        .into_iter()
+        .map(|(node, (view, value))| {
+            let step = outcome.decision_steps.get(&node).copied().unwrap_or(0);
+            (
+                node,
+                Decision {
+                    view,
+                    value,
+                    at: SimTime::from_micros(step),
+                },
+            )
+        })
+        .collect();
+
+    let last = decisions
+        .values()
+        .map(|d| d.at)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    RunReport {
+        graph: Arc::clone(&scenario.graph),
+        crashed,
+        decisions,
+        metrics: Metrics::default(),
+        stats: outcome.report.stats,
+        message_pairs: Some(outcome.message_pairs),
+        trace_hash: outcome.order_hash,
+        outcome: RunOutcome::Quiescent {
+            events: outcome.released,
+            at: last,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_spec;
+    use crate::exec::{Engine, Exec};
+    use precipice_graph::{path, torus, GridDims};
+
+    fn torus_scenario() -> Scenario {
+        Scenario::builder(torus(GridDims::square(4)))
+            .crash(NodeId(9), SimTime::from_millis(1))
+            .build()
+    }
+
+    #[test]
+    fn live_engine_produces_checkable_report() {
+        let scenario = torus_scenario();
+        let out = scenario.exec(Exec::new().engine(Engine::Live { shards: 2 }));
+        assert!(out.report.outcome.is_quiescent());
+        assert_eq!(out.report.decisions.len(), 4);
+        for d in out.report.decisions.values() {
+            assert_eq!(d.value, NodeId(5));
+        }
+        assert!(out.report.total_messages() > 0);
+        assert!(check_spec(&out.report).is_empty());
+    }
+
+    #[test]
+    fn live_engine_matches_sim_decisions() {
+        let scenario = torus_scenario();
+        let sim = scenario.exec(Exec::new()).report;
+        let live = scenario
+            .exec(Exec::new().engine(Engine::Live { shards: 3 }))
+            .report;
+        assert_eq!(sim.decisions.len(), live.decisions.len());
+        for (node, d) in &sim.decisions {
+            let l = &live.decisions[node];
+            assert_eq!(d.view, l.view);
+            assert_eq!(d.value, l.value);
+        }
+        assert_eq!(sim.stats, live.stats);
+    }
+
+    #[test]
+    fn probe_is_deterministic_and_shard_independent() {
+        let scenario = torus_scenario();
+        let a = probe_live(&scenario, 1, 7);
+        let b = probe_live(&scenario, 4, 7);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.message_pairs, b.message_pairs);
+        let c = probe_live(&scenario, 1, 8);
+        // A different seed explores a different schedule (hash differs
+        // with overwhelming likelihood on this scenario).
+        assert_ne!(a.trace_hash, c.trace_hash);
+    }
+
+    #[test]
+    fn probe_reports_pass_the_checker() {
+        let scenario = Scenario::builder(path(9))
+            .crash(NodeId(2), SimTime::from_millis(1))
+            .crash(NodeId(6), SimTime::from_millis(2))
+            .build();
+        for seed in 0..8 {
+            let report = probe_live(&scenario, 2, seed);
+            let violations = check_spec(&report);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn probe_catches_inverted_arbitration() {
+        use precipice_core::ProtocolConfig;
+        // Adjacent kills force view arbitration; inverting it breaks
+        // agreement in at least one explored schedule.
+        let scenario = Scenario::builder(path(9))
+            .crash(NodeId(3), SimTime::from_millis(1))
+            .crash(NodeId(4), SimTime::from_millis(2))
+            .protocol(ProtocolConfig {
+                invert_arbitration: true,
+                ..ProtocolConfig::default()
+            })
+            .build();
+        let caught = (0..32).any(|seed| !check_spec(&probe_live(&scenario, 2, seed)).is_empty());
+        assert!(caught, "inverted arbitration survived 32 live schedules");
+    }
+}

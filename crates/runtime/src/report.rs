@@ -19,8 +19,10 @@ pub struct Decision<D> {
 
 /// Everything observable about one simulated protocol run.
 ///
-/// Produced by [`Scenario::run`](crate::Scenario::run); consumed by
-/// [`check_spec`](crate::check_spec) and by the experiment harness.
+/// Produced by [`Scenario::exec`](crate::Scenario::exec) (any engine,
+/// including the live backend) and by [`probe_live`](crate::probe_live);
+/// consumed by [`check_spec`](crate::check_spec) and by the experiment
+/// harness.
 #[derive(Debug, Clone)]
 pub struct RunReport<D> {
     /// The knowledge graph the run executed on.

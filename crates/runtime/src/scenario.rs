@@ -4,8 +4,7 @@ use std::sync::Arc;
 use precipice_core::{CliffEdgeNode, DecisionPolicy, ProtocolConfig};
 use precipice_graph::{Graph, NodeId};
 use precipice_sim::{
-    Metrics, RunOutcome, Schedule, SchedulePolicy, SimConfig, SimTime, Simulation, Trace,
-    TraceEntry,
+    Metrics, RunOutcome, SchedulePolicy, SimConfig, SimTime, Simulation, Trace, TraceEntry,
 };
 
 use crate::adapter::{MulticastMode, ProtocolProcess};
@@ -64,8 +63,9 @@ impl Scenario {
     /// every derived table is unchanged.
     pub fn exec<P, F>(&self, options: Exec<P, F>) -> ExecOutcome<P::Value>
     where
-        P: DecisionPolicy,
-        F: FnMut(NodeId) -> P + 'static,
+        P: DecisionPolicy + Send + 'static,
+        P::Value: Send + Sync,
+        F: FnMut(NodeId) -> P + Send + 'static,
     {
         let Exec {
             make_policy,
@@ -86,6 +86,7 @@ impl Scenario {
                     .pop()
                     .expect("one job in, one outcome out")
             }
+            Engine::Live { shards } => crate::live::exec_live(self, shards, make_policy),
         }
     }
 
@@ -162,85 +163,6 @@ impl Scenario {
             outcome,
         );
         ExecOutcome { report, schedule }
-    }
-
-    /// Runs the scenario with the default [`NodeIdValuePolicy`]
-    /// (border-coordinator election).
-    #[deprecated(note = "use `exec(Exec::new())` and read `.report`")]
-    pub fn run(&self) -> RunReport<NodeId> {
-        self.exec(Exec::new()).report
-    }
-
-    /// Runs the scenario under an exploring [`SchedulePolicy`] (with the
-    /// default decision policy) and returns the report together with the
-    /// replayable schedule trace the scheduler recorded.
-    #[deprecated(note = "use `exec(Exec::new().schedule(policy))`")]
-    pub fn run_scheduled(&self, schedule: SchedulePolicy) -> (RunReport<NodeId>, Schedule) {
-        let out = self.exec(Exec::new().schedule(schedule));
-        (out.report, out.schedule)
-    }
-
-    /// Runs the scenario, constructing each node's decision policy with
-    /// `make_policy`.
-    #[deprecated(note = "use `exec(Exec::new().decide_with(make_policy))` and read `.report`")]
-    pub fn run_with_policy<P, F>(&self, make_policy: F) -> RunReport<P::Value>
-    where
-        P: DecisionPolicy,
-        F: FnMut(NodeId) -> P + 'static,
-    {
-        self.exec(Exec::new().decide_with(make_policy)).report
-    }
-
-    /// Runs with decision policy × scheduling policy on the lazy
-    /// engine. The second return value is `Some` iff an exploring
-    /// policy was used ([`SchedulePolicy::Fifo`] records nothing).
-    #[deprecated(
-        note = "use `exec(Exec::new().decide_with(make_policy).schedule(policy))`; \
-                         `ExecOutcome::schedule` is always present"
-    )]
-    pub fn run_scheduled_with_policy<P, F>(
-        &self,
-        make_policy: F,
-        schedule: SchedulePolicy,
-    ) -> (RunReport<P::Value>, Option<Schedule>)
-    where
-        P: DecisionPolicy,
-        F: FnMut(NodeId) -> P + 'static,
-    {
-        let fifo = matches!(schedule, SchedulePolicy::Fifo);
-        self.exec(Exec::new().decide_with(make_policy).schedule(schedule))
-            .into_legacy(fifo)
-    }
-
-    /// Eager-engine variant of
-    /// [`run_scheduled_with_policy`](Self::run_scheduled_with_policy).
-    #[deprecated(
-        note = "use `exec(Exec::new().decide_with(make_policy).schedule(policy)\
-                         .engine(Engine::Eager))`"
-    )]
-    pub fn run_eager_scheduled_with_policy<P, F>(
-        &self,
-        make_policy: F,
-        schedule: SchedulePolicy,
-    ) -> (RunReport<P::Value>, Option<Schedule>)
-    where
-        P: DecisionPolicy,
-        F: FnMut(NodeId) -> P + 'static,
-    {
-        let fifo = matches!(schedule, SchedulePolicy::Fifo);
-        self.exec(
-            Exec::new()
-                .decide_with(make_policy)
-                .schedule(schedule)
-                .engine(Engine::Eager),
-        )
-        .into_legacy(fifo)
-    }
-
-    /// Eager reference run with the default policy and FIFO scheduling.
-    #[deprecated(note = "use `exec(Exec::new().engine(Engine::Eager))` and read `.report`")]
-    pub fn run_eager(&self) -> RunReport<NodeId> {
-        self.exec(Exec::new().engine(Engine::Eager)).report
     }
 }
 
@@ -418,7 +340,6 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use precipice_core::NodeIdValuePolicy;
     use precipice_graph::path;
 
     #[test]
@@ -511,35 +432,6 @@ mod tests {
         assert_eq!(a.report.trace_hash, b.report.trace_hash);
         assert_eq!(a.report.crashed, b.report.crashed);
         assert_eq!(a.report.metrics, b.report.metrics);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_forwarders_match_exec() {
-        let scenario = Scenario::builder(precipice_graph::ring(6))
-            .crash(NodeId(1), SimTime::from_millis(1))
-            .crash(NodeId(2), SimTime::from_millis(3))
-            .build();
-        let via_exec = scenario.exec(Exec::new());
-        assert_eq!(scenario.run().trace_hash, via_exec.report.trace_hash);
-        assert_eq!(scenario.run_eager().trace_hash, via_exec.report.trace_hash);
-
-        let policy = SchedulePolicy::Random(11);
-        let fuzzed = scenario.exec(Exec::new().schedule(policy.clone()));
-        let (report, schedule) = scenario.run_scheduled(policy.clone());
-        assert_eq!(report.trace_hash, fuzzed.report.trace_hash);
-        assert_eq!(schedule, fuzzed.schedule);
-
-        // The legacy Option<Schedule> contract: None iff FIFO.
-        let (_, none) =
-            scenario.run_scheduled_with_policy(|_me| NodeIdValuePolicy, SchedulePolicy::Fifo);
-        assert!(none.is_none());
-        let (_, some) = scenario.run_scheduled_with_policy(|_me| NodeIdValuePolicy, policy.clone());
-        assert_eq!(some, Some(fuzzed.schedule.clone()));
-        let (eager, eager_sched) =
-            scenario.run_eager_scheduled_with_policy(|_me| NodeIdValuePolicy, policy);
-        assert_eq!(eager.trace_hash, fuzzed.report.trace_hash);
-        assert_eq!(eager_sched, Some(fuzzed.schedule));
     }
 
     #[test]

@@ -45,7 +45,12 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn record_send(&mut self, from: NodeId, bytes: usize) {
+    /// Records one message of `bytes` handed to the network by `from`.
+    ///
+    /// The recorders are public so non-simulated backends (the sharded
+    /// live runtime) can account into the same structure the checker
+    /// and experiment tables consume.
+    pub fn record_send(&mut self, from: NodeId, bytes: usize) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         let m = self.per_node.entry(from).or_default();
@@ -53,22 +58,48 @@ impl Metrics {
         m.sent_bytes += bytes as u64;
     }
 
-    pub(crate) fn record_delivery(&mut self, to: NodeId) {
+    /// Records one message delivered to live process `to`.
+    pub fn record_delivery(&mut self, to: NodeId) {
         self.messages_delivered += 1;
         self.per_node.entry(to).or_default().delivered += 1;
     }
 
-    pub(crate) fn record_drop(&mut self) {
+    /// Records one message dropped at a crashed destination.
+    pub fn record_drop(&mut self) {
         self.messages_dropped += 1;
     }
 
-    pub(crate) fn record_crash_notification(&mut self) {
+    /// Records one failure-detector crash notification.
+    pub fn record_crash_notification(&mut self) {
         self.crash_notifications += 1;
     }
 
-    pub(crate) fn record_activation(&mut self, node: NodeId) {
+    /// Records one event-handler activation of `node`.
+    pub fn record_activation(&mut self, node: NodeId) {
         self.events_processed += 1;
         self.per_node.entry(node).or_default().activations += 1;
+    }
+
+    /// Folds aggregate transport totals from a live (non-simulated)
+    /// backend into the run-wide counters. Per-node accounting stays
+    /// empty — live backends count at the transport layer, where
+    /// attributing every ring transfer to a node would serialize the
+    /// shards on a shared map.
+    pub fn record_backend_totals(
+        &mut self,
+        sent: u64,
+        bytes: u64,
+        delivered: u64,
+        dropped: u64,
+        notifications: u64,
+        events: u64,
+    ) {
+        self.messages_sent += sent;
+        self.bytes_sent += bytes;
+        self.messages_delivered += delivered;
+        self.messages_dropped += dropped;
+        self.crash_notifications += notifications;
+        self.events_processed += events;
     }
 
     pub(crate) fn set_finished_at(&mut self, t: SimTime) {
@@ -159,5 +190,18 @@ mod tests {
         assert_eq!(m.node(NodeId(99)), NodeMetrics::default());
         assert_eq!(m.nodes_with_traffic(), vec![NodeId(0), NodeId(1)]);
         assert_eq!(m.iter_nodes().count(), 2);
+    }
+
+    #[test]
+    fn backend_totals_fold_without_per_node_entries() {
+        let mut m = Metrics::default();
+        m.record_backend_totals(10, 400, 8, 2, 3, 11);
+        assert_eq!(m.messages_sent(), 10);
+        assert_eq!(m.bytes_sent(), 400);
+        assert_eq!(m.messages_delivered(), 8);
+        assert_eq!(m.messages_dropped(), 2);
+        assert_eq!(m.crash_notifications(), 3);
+        assert_eq!(m.events_processed(), 11);
+        assert_eq!(m.iter_nodes().count(), 0);
     }
 }

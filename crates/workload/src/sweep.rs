@@ -3,10 +3,8 @@
 //! Every figure and experiment in the evaluation is a *sweep*: run one
 //! crash scenario over many seeds/delays/sizes and aggregate the rows.
 //! A [`SweepSpec`] shards those jobs across worker threads while
-//! keeping the output bit-for-bit identical to a sequential run. It
-//! subsumes what used to be three entry points (`run`, `run_until`,
-//! `run_until_n`, kept as deprecated wrappers) behind one budgeted
-//! spec, so batch-engine job kinds slot in without a fourth:
+//! keeping the output bit-for-bit identical to a sequential run —
+//! one budgeted spec covering every job kind:
 //!
 //! - [`SweepSpec::map`] — full sweep over an input slice;
 //! - [`SweepSpec::map_until`] — chunked feed with early stopping;
@@ -317,43 +315,6 @@ where
         .collect()
 }
 
-/// Runs `job(index, &inputs[index])` for every input, in input order.
-#[deprecated(note = "use `SweepSpec::new(jobs).map(inputs, job)`")]
-pub fn run<I, T, F>(jobs: Jobs, inputs: &[I], job: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync,
-{
-    SweepSpec::new(jobs).map(inputs, job)
-}
-
-/// Budgeted job feed over an input slice with early stopping on chunk
-/// boundaries.
-#[deprecated(note = "use `SweepSpec::new(jobs).chunked(chunk).map_until(inputs, job, stop)`")]
-pub fn run_until<I, T, F, S>(jobs: Jobs, inputs: &[I], chunk: usize, job: F, stop: S) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync,
-    S: FnMut(&[T]) -> bool,
-{
-    SweepSpec::new(jobs)
-        .chunked(chunk)
-        .map_until(inputs, job, stop)
-}
-
-/// Streamed budgeted feed over the index range `0..n`.
-#[deprecated(note = "use `SweepSpec::new(jobs).chunked(chunk).feed(n, job, stop)`")]
-pub fn run_until_n<T, F, S>(jobs: Jobs, n: usize, chunk: usize, job: F, stop: S) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-    S: FnMut(&[T]) -> bool,
-{
-    SweepSpec::new(jobs).chunked(chunk).feed(n, job, stop)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,28 +448,5 @@ mod tests {
             |_| false,
         );
         assert_eq!(fed, (0..11).map(|i| i * 10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_spec() {
-        let inputs: Vec<u32> = (0..30).collect();
-        assert_eq!(
-            run(Jobs::new(3), &inputs, |i, &x| i as u32 + x),
-            SweepSpec::new(Jobs::new(3)).map(&inputs, |i, &x| i as u32 + x)
-        );
-        let stop = |done: &[u32]| done.len() >= 10;
-        assert_eq!(
-            run_until(Jobs::new(2), &inputs, 5, |_, &x| x, stop),
-            SweepSpec::new(Jobs::new(2))
-                .chunked(5)
-                .map_until(&inputs, |_, &x| x, stop)
-        );
-        assert_eq!(
-            run_until_n(Jobs::new(2), 17, 4, |i| i + 1, |_| false),
-            SweepSpec::new(Jobs::new(2))
-                .chunked(4)
-                .feed(17, |i| i + 1, |_| false)
-        );
     }
 }

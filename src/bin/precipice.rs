@@ -8,7 +8,9 @@
 //! precipice --topology geometric:200:0.12 --region ball:2 --dot crashed.dot
 //! precipice --topology torus:24 --region blob:8 --runs 32 --jobs 8
 //! precipice check --topology torus:6 --region blob:3 --budget 1000 --jobs 4
+//! precipice check --topology path:9 --region nodes:3,4 --backend live --shards 2
 //! precipice replay counterexample.txt
+//! precipice serve --shards 4 < commands.jsonl
 //! ```
 //!
 //! With `--runs k` the same scenario is swept over `k` consecutive
@@ -45,6 +47,7 @@ USAGE:
     precipice [OPTIONS]
     precipice check [OPTIONS] [CHECK OPTIONS]
     precipice replay <artifact>
+    precipice serve [--shards <n>]
     precipice graph build <spec> -o <file.pcsr> [--seed <u64>]
     precipice graph info <file.pcsr>
 
@@ -77,7 +80,18 @@ CHECK OPTIONS (adversarial schedule exploration):
     --stop-after <k>    stop once k violating schedules were found
                         (0 = always spend the whole budget) [default: 0]
     --artifact <path>   write the first shrunk counterexample here
-                        (default: print it inline)
+                        (default: print it inline; sim backend only)
+    --backend <b>       sim | live — explore simulator schedules, or
+                        gate the sharded live runtime and explore *real*
+                        backend schedules one released event at a time
+                                                    [default: sim]
+    --shards <n>        live-backend worker shards  [default: 2]
+
+SERVE (long-lived process, line-delimited JSON on stdin/stdout):
+    serve --shards <n>  host many concurrent agreement instances
+                        [default shards: 2]; commands: open, crash,
+                        await, read, status, close, shutdown — see the
+                        README \"Serving\" section for the protocol
 
 GRAPH SUBCOMMANDS (on-disk topologies):
     graph build <spec> -o <file>   write <spec> (same grammar as
@@ -506,6 +520,17 @@ fn print_single(
     }
 }
 
+/// Which runtime `check` explores schedules of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckBackend {
+    /// The deterministic simulator (delivery/crash schedule fuzzing
+    /// with shrinking and replayable artifacts).
+    Sim,
+    /// The sharded live runtime, gated to one released event at a time
+    /// — every explored schedule ran on real threads and real queues.
+    Live,
+}
+
 /// Options of the `check` subcommand: the base scenario flags plus the
 /// exploration knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -515,6 +540,8 @@ struct CheckOptions {
     policy: PolicyMix,
     stop_after: usize,
     artifact: Option<String>,
+    backend: CheckBackend,
+    shards: usize,
 }
 
 /// Parses `check` arguments: exploration flags are extracted here, the
@@ -524,6 +551,8 @@ fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions,
     let mut policy = PolicyMix::Mixed;
     let mut stop_after: usize = 0;
     let mut artifact: Option<String> = None;
+    let mut backend = CheckBackend::Sim;
+    let mut shards: usize = 2;
     let mut rest: Vec<String> = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -547,6 +576,21 @@ fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions,
                     .map_err(|e| format!("--stop-after: {e}"))?
             }
             "--artifact" => artifact = Some(value("--artifact")?),
+            "--backend" => {
+                backend = match value("--backend")?.as_str() {
+                    "sim" => CheckBackend::Sim,
+                    "live" => CheckBackend::Live,
+                    other => return Err(format!("--backend wants sim or live, got {other:?}")),
+                }
+            }
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards wants a positive shard count".to_owned());
+                }
+            }
             _ => rest.push(arg),
         }
     }
@@ -554,12 +598,19 @@ fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions,
     if base.runs != 1 {
         return Err("--runs does not apply to `check` (one scenario, many schedules)".to_owned());
     }
+    if backend == CheckBackend::Live && artifact.is_some() {
+        return Err(
+            "--artifact applies to the sim backend only; live schedules replay by seed".to_owned(),
+        );
+    }
     Ok(CheckOptions {
         base,
         budget,
         policy,
         stop_after,
         artifact,
+        backend,
+        shards,
     })
 }
 
@@ -612,6 +663,9 @@ fn options_from_spec(spec: &BTreeMap<String, String>) -> Result<Options, String>
 /// Runs the `check` subcommand. Returns `Ok(true)` when no schedule
 /// violated the specification.
 fn run_check(opts: &CheckOptions) -> Result<bool, String> {
+    if opts.backend == CheckBackend::Live {
+        return run_check_live(opts);
+    }
     let base = &opts.base;
     let graph = parse_topology(&base.topology, base.seed)?;
     let region = parse_region(&base.region, &graph, base.at)?;
@@ -716,6 +770,141 @@ fn run_check(opts: &CheckOptions) -> Result<bool, String> {
         );
         Ok(false)
     }
+}
+
+/// Runs `check --backend live`: explores `budget` gated schedules of
+/// the sharded live runtime (seeds `seed..seed+budget`) and checks
+/// every resulting report against CD1–CD7. Each explored schedule ran
+/// on real shard threads; a violating one is reproducible from its
+/// seed alone (the gate makes the outcome a pure function of scenario
+/// × seed, independent of shard count and machine speed).
+fn run_check_live(opts: &CheckOptions) -> Result<bool, String> {
+    let base = &opts.base;
+    let graph = parse_topology(&base.topology, base.seed)?;
+    let region = parse_region(&base.region, &graph, base.at)?;
+    parse_timing(&base.timing, base.seed)?;
+    let scenario = scenario_for(base, &graph, &region, base.seed);
+
+    let mut explored = 0u64;
+    let mut violating = 0u64;
+    let mut orderings = BTreeSet::new();
+    let mut worst: Option<(u64, RunReport<NodeId>)> = None;
+    for i in 0..opts.budget {
+        let seed = base.seed.wrapping_add(i);
+        let report = precipice::runtime::probe_live(&scenario, opts.shards, seed);
+        explored += 1;
+        orderings.insert(report.trace_hash);
+        if !check_spec(&report).is_empty() {
+            violating += 1;
+            if worst.is_none() {
+                worst = Some((seed, report));
+            }
+            if opts.stop_after != 0 && violating as usize >= opts.stop_after {
+                break;
+            }
+        }
+    }
+
+    let mut summary = Table::new(
+        format!(
+            "live-backend schedule exploration ({} / {})",
+            base.topology, base.region
+        ),
+        ["metric", "value"],
+    );
+    summary.push_row(["budget".to_owned(), opts.budget.to_string()]);
+    summary.push_row(["schedules explored".to_owned(), explored.to_string()]);
+    summary.push_row(["unique orderings".to_owned(), orderings.len().to_string()]);
+    summary.push_row(["violating schedules".to_owned(), violating.to_string()]);
+    summary.push_row(["shards".to_owned(), opts.shards.to_string()]);
+    summary.push_row(["first seed".to_owned(), base.seed.to_string()]);
+    if base.csv {
+        print!("{}", summary.to_csv());
+    } else {
+        println!("{summary}");
+    }
+
+    if let Some((seed, report)) = &worst {
+        let violations = check_spec(report);
+        println!("## first violating live schedule: seed {seed}\n");
+        print!("{}", render_violations(report, &violations));
+        let mut protocol_flags = String::new();
+        if base.optimized {
+            protocol_flags.push_str(" --optimized");
+        }
+        if base.no_arbitration {
+            protocol_flags.push_str(" --no-arbitration");
+        }
+        if base.invert_arbitration {
+            protocol_flags.push_str(" --invert-arbitration");
+        }
+        println!(
+            "\nreproduce: precipice check --backend live --seed {seed} --budget 1 \
+             --topology {} --region {} --timing {}{protocol_flags}",
+            base.topology, base.region, base.timing
+        );
+        println!();
+    }
+
+    if violating == 0 {
+        println!(
+            "specification: CD1-CD7 hold on all {explored} live schedules ({} shards) ✓",
+            opts.shards
+        );
+        Ok(true)
+    } else {
+        println!("specification VIOLATED on {violating} of {explored} live schedules");
+        Ok(false)
+    }
+}
+
+/// Runs the `serve` subcommand: a long-lived process speaking
+/// line-delimited JSON on stdin/stdout (see
+/// [`precipice::net::ServeSession`] for the protocol). Blank lines and
+/// `#` comments are skipped, so scripted command files pipe straight
+/// in. Exits cleanly on `shutdown` or stdin EOF.
+fn run_serve(shards: usize) -> Result<bool, String> {
+    use std::io::{BufRead, Write};
+    let mut session = precipice::net::ServeSession::new(shards);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let response = session.handle_line(trimmed);
+        writeln!(out, "{response}").map_err(|e| format!("writing stdout: {e}"))?;
+        out.flush().map_err(|e| format!("flushing stdout: {e}"))?;
+        if session.finished() {
+            break;
+        }
+    }
+    Ok(true)
+}
+
+/// Parses `serve` arguments (just `--shards`).
+fn parse_serve_args<I: Iterator<Item = String>>(mut args: I) -> Result<usize, String> {
+    let mut shards: usize = 2;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .ok_or("--shards requires a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards wants a positive shard count".to_owned());
+                }
+            }
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown serve option {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(shards)
 }
 
 /// Runs the `replay` subcommand: re-executes a counterexample artifact
@@ -911,6 +1100,10 @@ fn main() -> ExitCode {
                     e
                 }
             })
+        }
+        Some("serve") => {
+            args.next();
+            parse_serve_args(args).and_then(|shards| run_serve(shards).map_err(runtime_err))
         }
         Some("replay") => {
             args.next();
@@ -1118,6 +1311,27 @@ mod tests {
         assert!(check_parse(&["--policy", "chaos"]).is_err());
         assert!(check_parse(&["--runs", "4"]).is_err(), "runs is sweep-only");
         assert!(check_parse(&["--bogus"]).is_err());
+
+        let live = check_parse(&["--backend", "live", "--shards", "4"]).unwrap();
+        assert_eq!(live.backend, CheckBackend::Live);
+        assert_eq!(live.shards, 4);
+        assert_eq!(check_parse(&[]).unwrap().backend, CheckBackend::Sim);
+        assert!(check_parse(&["--backend", "quantum"]).is_err());
+        assert!(check_parse(&["--shards", "0"]).is_err());
+        assert!(
+            check_parse(&["--backend", "live", "--artifact", "/tmp/x"]).is_err(),
+            "live schedules replay by seed, not artifact"
+        );
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let parse = |args: &[&str]| parse_serve_args(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]), Ok(2));
+        assert_eq!(parse(&["--shards", "8"]), Ok(8));
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
     }
 
     #[test]
@@ -1135,8 +1349,55 @@ mod tests {
             policy: PolicyMix::Mixed,
             stop_after: 0,
             artifact: None,
+            backend: CheckBackend::Sim,
+            shards: 2,
         };
         assert_eq!(run_check(&opts), Ok(true));
+    }
+
+    #[test]
+    fn live_check_clean_scenario_passes() {
+        let opts = CheckOptions {
+            base: Options {
+                topology: "torus:5".into(),
+                region: "blob:3".into(),
+                timing: "cascade:2ms".into(),
+                seed: 3,
+                ..Options::default()
+            },
+            budget: 8,
+            policy: PolicyMix::Mixed,
+            stop_after: 0,
+            artifact: None,
+            backend: CheckBackend::Live,
+            shards: 2,
+        };
+        assert_eq!(run_check(&opts), Ok(true));
+    }
+
+    #[test]
+    fn live_check_catches_planted_bug() {
+        let opts = CheckOptions {
+            base: Options {
+                topology: "path:9".into(),
+                region: "nodes:3,4".into(),
+                timing: "cascade:2ms".into(),
+                seed: 0,
+                invert_arbitration: true,
+                ..Options::default()
+            },
+            budget: 48,
+            policy: PolicyMix::Mixed,
+            stop_after: 1,
+            artifact: None,
+            backend: CheckBackend::Live,
+            shards: 2,
+        };
+        assert_eq!(
+            run_check(&opts),
+            Ok(false),
+            "the planted bug must be caught on the live backend"
+        );
     }
 
     #[test]
@@ -1158,6 +1419,8 @@ mod tests {
             policy: PolicyMix::Mixed,
             stop_after: 1,
             artifact: Some(artifact_path.to_string_lossy().into_owned()),
+            backend: CheckBackend::Sim,
+            shards: 2,
         };
         assert_eq!(
             run_check(&opts),

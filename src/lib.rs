@@ -16,7 +16,7 @@
 //! | [`consensus`] | `precipice-core` | the cliff-edge consensus state machine (paper Algorithm 1) |
 //! | [`runtime`] | `precipice-runtime` | scenario runner and the CD1–CD7 specification checker |
 //! | [`baseline`] | `precipice-baseline` | global flooding consensus, gossip dissemination, no-arbitration ablation |
-//! | [`net`] | `precipice-net` | live thread-per-node backend over crossbeam channels |
+//! | [`net`] | `precipice-net` | sharded live event-loop runtime, `precipice serve` sessions, gated live schedule exploration (plus the thread-per-node reference) |
 //! | [`workload`] | `precipice-workload` | failure-pattern generators, figure scenarios, sweeps, result tables |
 //!
 //! # Quickstart

@@ -1,5 +1,7 @@
-//! Integration tests of the live thread backend (E8): the same sans-io
-//! core under genuine concurrency still honors the specification.
+//! Integration tests of the live backends (E8): the same sans-io core
+//! under genuine concurrency still honors the specification — on the
+//! thread-per-node reference and on the sharded event-loop runtime,
+//! which must agree with each other on schedule-independent scenarios.
 
 use std::time::Duration;
 
@@ -114,4 +116,59 @@ fn live_kill_before_any_subscription_settles() {
     let report = cluster.shutdown();
     assert_live_consistent(&report, &graph, &[NodeId(1), NodeId(2)]);
     assert!(!report.decisions.is_empty());
+}
+
+#[test]
+fn sharded_single_region_deterministic_outcome() {
+    let graph = torus(GridDims::square(4));
+    let mut cluster =
+        precipice::net::ShardedCluster::start(graph.clone(), ProtocolConfig::default(), 2);
+    cluster.kill(NodeId(9));
+    assert!(cluster.await_quiescence(QUIET, TIMEOUT));
+    let report = cluster.shutdown();
+    assert_live_consistent(&report, &graph, &[NodeId(9)]);
+    assert!(precipice::net::live_consistent(&report, &graph));
+    let region: Region = [NodeId(9)].into_iter().collect();
+    let border = graph.border_of(region.iter());
+    assert_eq!(report.decisions.len(), border.len(), "whole border decides");
+}
+
+#[test]
+fn sharded_matches_threaded_on_single_kill() {
+    let run_threaded = || {
+        let mut c = LiveCluster::start(torus(GridDims::square(4)), ProtocolConfig::default());
+        c.kill(NodeId(9));
+        assert!(c.await_quiescence(QUIET, TIMEOUT));
+        c.shutdown()
+    };
+    let run_sharded = |shards| {
+        let mut c = precipice::net::ShardedCluster::start(
+            torus(GridDims::square(4)),
+            ProtocolConfig::default(),
+            shards,
+        );
+        c.kill(NodeId(9));
+        assert!(c.await_quiescence(QUIET, TIMEOUT));
+        c.shutdown()
+    };
+    let reference = run_threaded();
+    assert_eq!(reference, run_sharded(1));
+    assert_eq!(reference, run_sharded(3));
+}
+
+#[test]
+fn live_engine_exec_report_is_checkable() {
+    use precipice::runtime::exec::Engine;
+    use precipice::runtime::{check_spec, Exec, Scenario};
+    use precipice::sim::SimTime;
+
+    let scenario = Scenario::builder(torus(GridDims::square(4)))
+        .crash(NodeId(9), SimTime::from_millis(1))
+        .build();
+    let report = scenario
+        .exec(Exec::new().engine(Engine::Live { shards: 2 }))
+        .report;
+    assert!(report.outcome.is_quiescent());
+    assert_eq!(report.decisions.len(), 4);
+    assert!(check_spec(&report).is_empty());
 }
