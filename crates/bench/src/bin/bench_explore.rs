@@ -1,0 +1,257 @@
+//! Report binary: **coverage-guided vs blind** schedule exploration on
+//! two fixed workloads — the guided explorer's headline numbers.
+//!
+//! - **coverage**: a clean torus scenario explored once blind
+//!   ([`PolicyMix::Mixed`]) and once guided ([`PolicyMix::Guided`]) at
+//!   the same budget; reports distinct view-lattice states per 1000
+//!   schedules, race pairs (and how many were observed in both
+//!   orders), and checker branches reached.
+//! - **catch**: the planted `invert_arbitration` bug, hunted blind and
+//!   guided over several exploration seeds; reports the first
+//!   violating probe index per seed and the medians. Guided must not
+//!   be worse than blind at the median, and must catch the bug within
+//!   a budget *smaller* than the blind arm is given.
+//!
+//! Both arms are deterministic in the exploration seed and independent
+//! of `--jobs` (coverage folding and corpus growth are serial, in
+//! probe order), so every number here is reproducible byte-for-byte.
+//!
+//! Usage:
+//! `cargo run --release -p precipice-bench --bin bench_explore -- \
+//!     [--test] [--json PATH] [--budget N]`
+//!
+//! - `--test`: smaller budgets, assertions only — CI smoke mode.
+//! - `--budget N`: schedules per coverage arm (catch arms derive
+//!   theirs from it).
+//!
+//! Writes `BENCH_explore.json` by default.
+
+use std::fmt::Write as _;
+
+use precipice_bench::{carve_region, experiment_sim, torus_of, RegionShape};
+use precipice_core::ProtocolConfig;
+use precipice_graph::NodeId;
+use precipice_runtime::Scenario;
+use precipice_sim::SimTime;
+use precipice_workload::explore::{explore_scenario, ExploreConfig, ExploreOutcome, PolicyMix};
+use precipice_workload::patterns::{schedule, CrashTiming};
+use precipice_workload::sweep::Jobs;
+
+/// Exploration seeds for the catch arm: the median over these decides
+/// the guided-vs-blind verdict. Fixed so the report never drifts.
+const CATCH_SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
+
+/// Chunk size for every exploration here: small enough that the guided
+/// corpus gets feedback several times within even the `--test` budget
+/// (blind streams ignore it — their policies never read the corpus).
+const CHUNK: usize = 4;
+
+/// The clean coverage scenario: a 6×6 torus with a 4-node blob
+/// crashing simultaneously (E9's torus row).
+fn clean_scenario() -> Scenario {
+    let graph = torus_of(36);
+    let region = carve_region(&graph, RegionShape::Blob, 4);
+    Scenario::builder(graph)
+        .name("explore-coverage")
+        .crashes(schedule(
+            region.iter(),
+            CrashTiming::Simultaneous(SimTime::from_millis(1)),
+        ))
+        .sim_config(experiment_sim(7, true))
+        .build()
+}
+
+/// The planted-bug scenario: an 8×8 torus where nodes 27 and 29 crash
+/// at 1ms — distance 2 apart, so their consensus instances are
+/// disjoint and never arbitrate — and their shared border node 28
+/// crashes much later (9ms), long after both instances quiesced under
+/// FIFO. Four far-away background crashes keep unrelated traffic in
+/// flight. The inverted-arbitration bug is only reachable when a
+/// schedule drags the late bridge crash into a live instance (merging
+/// the regions mid-flight), which blind fuzzing does by accident and
+/// the guided crash-pull smoke pass does on purpose — exactly the
+/// asymmetry this bench measures.
+fn planted_scenario() -> Scenario {
+    Scenario::builder(torus_of(64))
+        .name("explore-planted-bug")
+        .crashes(vec![
+            (NodeId(27), SimTime::from_millis(1)),
+            (NodeId(29), SimTime::from_millis(1)),
+            (NodeId(28), SimTime::from_millis(9)),
+            (NodeId(0), SimTime::from_millis(2)),
+            (NodeId(4), SimTime::from_millis(5)),
+            (NodeId(40), SimTime::from_millis(8)),
+            (NodeId(44), SimTime::from_millis(11)),
+        ])
+        .protocol(ProtocolConfig::faithful().with_inverted_arbitration(true))
+        .sim_config(experiment_sim(7, true))
+        .build()
+}
+
+fn explore(scenario: &Scenario, policy: PolicyMix, seed: u64, budget: u64) -> ExploreOutcome {
+    let cfg = ExploreConfig {
+        budget,
+        seed,
+        policy,
+        shrink_runs: 0,
+        chunk: CHUNK,
+        ..ExploreConfig::default()
+    };
+    explore_scenario(scenario, &cfg, Jobs::available())
+}
+
+struct CoverageRow {
+    policy: &'static str,
+    probes: usize,
+    states: usize,
+    per_1000: f64,
+    pairs: usize,
+    flipped: usize,
+    branches: u32,
+}
+
+fn coverage_row(
+    scenario: &Scenario,
+    policy: PolicyMix,
+    name: &'static str,
+    budget: u64,
+) -> CoverageRow {
+    let out = explore(scenario, policy, 42, budget);
+    assert_eq!(
+        out.violating(),
+        0,
+        "{name}: coverage scenario must stay clean"
+    );
+    CoverageRow {
+        policy: name,
+        probes: out.probes.len(),
+        states: out.coverage.distinct_states(),
+        per_1000: out.states_per_1000(),
+        pairs: out.coverage.race_pairs(),
+        flipped: out.coverage.flipped_pairs(),
+        branches: out.coverage.branch_count(),
+    }
+}
+
+/// First violating probe index (1-based, so it reads as "schedules
+/// spent"), or `None` if the budget ran dry without a catch.
+fn catch_budget(scenario: &Scenario, policy: PolicyMix, seed: u64, budget: u64) -> Option<u64> {
+    let cfg = ExploreConfig {
+        budget,
+        seed,
+        policy,
+        stop_after: 1,
+        shrink_runs: 0,
+        chunk: CHUNK,
+        ..ExploreConfig::default()
+    };
+    let out = explore_scenario(scenario, &cfg, Jobs::available());
+    out.probes
+        .iter()
+        .position(|p| p.violations > 0)
+        .map(|i| i as u64 + 1)
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    sorted[sorted.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            match args.get(i + 1) {
+                // The next token being another flag means the value was
+                // forgotten — fail loudly rather than treat "--json" as
+                // a budget.
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        })
+    };
+    let test_mode = has("--test");
+    let json_path = value_of("--json").unwrap_or_else(|| "BENCH_explore.json".to_owned());
+    let budget: u64 = value_of("--budget")
+        .map(|v| v.parse().expect("--budget wants a positive integer"))
+        .unwrap_or(if test_mode { 192 } else { 512 });
+    // The guided arm gets a strictly smaller catch budget than blind:
+    // the report's claim is "guided finds the bug with less work".
+    let blind_budget = budget;
+    let guided_budget = budget / 2;
+
+    let clean = clean_scenario();
+    println!(
+        "{:<8} {:>7} {:>8} {:>12} {:>18} {:>9}",
+        "coverage", "probes", "states", "states/1000", "race pairs", "branches"
+    );
+    let rows = [
+        coverage_row(&clean, PolicyMix::Mixed, "blind", budget),
+        coverage_row(&clean, PolicyMix::Guided, "guided", budget),
+    ];
+    for r in &rows {
+        println!(
+            "{:<8} {:>7} {:>8} {:>12.1} {:>12} ({:>3}↺) {:>9}",
+            r.policy, r.probes, r.states, r.per_1000, r.pairs, r.flipped, r.branches
+        );
+    }
+
+    let planted = planted_scenario();
+    println!("\ncatch: planted inverted arbitration (blind budget {blind_budget}, guided budget {guided_budget})");
+    println!("{:<6} {:>8} {:>8}", "seed", "blind", "guided");
+    let mut blind_catches = Vec::new();
+    let mut guided_catches = Vec::new();
+    for seed in CATCH_SEEDS {
+        let blind = catch_budget(&planted, PolicyMix::Mixed, seed, blind_budget);
+        let guided = catch_budget(&planted, PolicyMix::Guided, seed, guided_budget);
+        let show = |c: Option<u64>| c.map_or("MISS".to_owned(), |n| n.to_string());
+        println!("{:<6} {:>8} {:>8}", seed, show(blind), show(guided));
+        blind_catches.push(blind.unwrap_or(blind_budget));
+        guided_catches.push(guided.unwrap_or(guided_budget));
+        assert!(
+            guided.is_some(),
+            "seed {seed}: guided missed the planted bug within {guided_budget} schedules"
+        );
+    }
+    blind_catches.sort_unstable();
+    guided_catches.sort_unstable();
+    let blind_median = median(&blind_catches);
+    let guided_median = median(&guided_catches);
+    println!("median {:>8} {:>8}", blind_median, guided_median);
+    assert!(
+        guided_median < blind_median,
+        "guided must catch the planted bug in fewer probes at the median \
+         (guided {guided_median} vs blind {blind_median})"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"precipice-bench-explore/1\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", Jobs::available().get());
+    let _ = writeln!(json, "  \"test_mode\": {test_mode},");
+    json.push_str("  \"coverage\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"probes\": {}, \"distinct_states\": {}, \
+             \"states_per_1000\": {:.1}, \"race_pairs\": {}, \"flipped_pairs\": {}, \
+             \"branches\": {}}}",
+            r.policy, r.probes, r.states, r.per_1000, r.pairs, r.flipped, r.branches
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"catch\": {\n");
+    let _ = writeln!(json, "    \"blind_budget\": {blind_budget},");
+    let _ = writeln!(json, "    \"guided_budget\": {guided_budget},");
+    let _ = writeln!(json, "    \"seeds\": {CATCH_SEEDS:?},");
+    let _ = writeln!(json, "    \"blind\": {blind_catches:?},");
+    let _ = writeln!(json, "    \"guided\": {guided_catches:?},");
+    let _ = writeln!(json, "    \"blind_median\": {blind_median},");
+    let _ = writeln!(json, "    \"guided_median\": {guided_median}");
+    json.push_str("  }\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
+}

@@ -929,6 +929,9 @@ pub fn e9_schedule_exploration(jobs: Jobs) -> Vec<Table> {
             "schedules",
             "unique orderings",
             "max deviations",
+            "states",
+            "race pairs",
+            "branches",
             "violating",
             "verdict",
         ],
@@ -940,6 +943,13 @@ pub fn e9_schedule_exploration(jobs: Jobs) -> Vec<Table> {
             outcome.schedules().to_string(),
             outcome.unique_orderings().to_string(),
             outcome.max_deviations().to_string(),
+            outcome.coverage.distinct_states().to_string(),
+            format!(
+                "{} ({} flipped)",
+                outcome.coverage.race_pairs(),
+                outcome.coverage.flipped_pairs()
+            ),
+            outcome.coverage.branch_count().to_string(),
             outcome.violating().to_string(),
             if outcome.violating() == 0 {
                 "CD1-CD7 hold".to_owned()

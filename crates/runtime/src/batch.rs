@@ -112,6 +112,8 @@ impl<P: DecisionPolicy> BatchRunner<P> {
                 out.push(ExecOutcome {
                     report,
                     schedule: run.schedule.unwrap_or_default(),
+                    // The run owns its trace — moving it out is free.
+                    trace: Some(run.trace),
                 });
             }
         }

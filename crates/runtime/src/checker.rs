@@ -53,6 +53,14 @@ pub enum Violation {
     /// deciders too), or on the view itself in any shape other than the
     /// one legal race below.
     ///
+    /// §2.3 states Uniform Border Agreement as: *if p and q both
+    /// decide and q ∈ border(view(p)), then they decide the same view
+    /// and the same value* — "uniform" because it binds faulty
+    /// deciders too, unlike CD6's correct-only view convergence. The
+    /// checker enforces exactly that statement, with the value half
+    /// unrefined and the view half carved down by the single exemption
+    /// asynchrony forces:
+    ///
     /// A faulty decider holding a view *subsumed* by the other decider's
     /// (a strict subset it died on) is exempt, exactly as CD6 exempts
     /// faulty deciders from view convergence: a node
@@ -145,13 +153,76 @@ impl fmt::Display for Violation {
 /// The checker needs `report.message_pairs` (trace recording enabled) to
 /// verify CD3; without a trace, CD3 is skipped.
 pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation> {
+    check_spec_coverage(report).0
+}
+
+/// Named bits of the checker-branch coverage mask returned by
+/// [`check_spec_coverage`]. Each bit marks one distinct outcome of a
+/// checker comparison actually reached by a run's report — a cheap
+/// proxy for "how much of the specification this schedule exercised"
+/// that the coverage-guided explorer folds into its
+/// [`CoverageMap`](precipice_sim::CoverageMap).
+pub mod branch {
+    /// The run reached quiescence.
+    pub const QUIESCENT: u32 = 1 << 0;
+    /// The run hit the event cap (`NonQuiescent` violation).
+    pub const NON_QUIESCENT: u32 = 1 << 1;
+    /// CD2: a decider was on its view's border.
+    pub const CD2_BORDER_OK: u32 = 1 << 2;
+    /// CD2: a decider was *not* on its view's border.
+    pub const CD2_BORDER_BROKE: u32 = 1 << 3;
+    /// CD2: a decided region was connected.
+    pub const CD2_CONNECTED_OK: u32 = 1 << 4;
+    /// CD2: a decided region was disconnected.
+    pub const CD2_CONNECTED_BROKE: u32 = 1 << 5;
+    /// CD2: every member of a decided view had crashed in time.
+    pub const CD2_CRASHED_OK: u32 = 1 << 6;
+    /// CD2: a decided view contained a live/late node.
+    pub const CD2_CRASHED_BROKE: u32 = 1 << 7;
+    /// CD3 ran (message pairs were recorded).
+    pub const CD3_CHECKED: u32 = 1 << 8;
+    /// CD3: an out-of-closure message was found.
+    pub const CD3_BROKE: u32 = 1 << 9;
+    /// CD5: two border-sharing deciders compared on the *same* view.
+    pub const CD5_SAME_VIEW: u32 = 1 << 10;
+    /// CD5: same-view value disagreement.
+    pub const CD5_VALUE_BROKE: u32 = 1 << 11;
+    /// CD5: two border-sharing deciders compared on different views.
+    pub const CD5_CROSS_VIEW: u32 = 1 << 12;
+    /// CD5: the died-subsumed exemption fired (§2.3's one legal race).
+    pub const CD5_DIED_SUBSUMED: u32 = 1 << 13;
+    /// CD5: cross-view disagreement with no exemption.
+    pub const CD5_VIEW_BROKE: u32 = 1 << 14;
+    /// CD4: an undecided border peer was faulty (legal).
+    pub const CD4_FAULTY_PEER: u32 = 1 << 15;
+    /// CD4: a correct border peer never decided.
+    pub const CD4_BROKE: u32 = 1 << 16;
+    /// CD6: a pair of correct deciders was compared.
+    pub const CD6_COMPARED: u32 = 1 << 17;
+    /// CD6: partially overlapping views.
+    pub const CD6_BROKE: u32 = 1 << 18;
+    /// CD7: a faulty cluster had a decided correct border node.
+    pub const CD7_OK: u32 = 1 << 19;
+    /// CD7: a starved cluster.
+    pub const CD7_BROKE: u32 = 1 << 20;
+}
+
+/// [`check_spec`] plus a bitmask of the checker branches the report
+/// exercised (see [`branch`]). The mask is a pure function of the
+/// report, so it is as deterministic and engine-independent as the
+/// violation list itself.
+pub fn check_spec_coverage<D: Clone + Eq + Debug>(report: &RunReport<D>) -> (Vec<Violation>, u32) {
     let mut violations = Vec::new();
+    let mut branches: u32 = 0;
     let graph = report.graph.as_ref();
     let faulty: BTreeSet<NodeId> = report.crashed.keys().copied().collect();
     let domains = faulty_domains(graph, &faulty);
 
     if !report.outcome.is_quiescent() {
+        branches |= branch::NON_QUIESCENT;
         violations.push(Violation::NonQuiescent);
+    } else {
+        branches |= branch::QUIESCENT;
     }
 
     // --- CD2: View Accuracy -------------------------------------------
@@ -159,27 +230,37 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
         let region = d.view.region();
         let border: BTreeSet<NodeId> = graph.border_of(region.iter()).into_iter().collect();
         if !border.contains(&p) {
+            branches |= branch::CD2_BORDER_BROKE;
             violations.push(Violation::ViewAccuracyBorder {
                 node: p,
                 region: region.clone(),
             });
+        } else {
+            branches |= branch::CD2_BORDER_OK;
         }
         if !is_connected_subset(graph, region) {
+            branches |= branch::CD2_CONNECTED_BROKE;
             violations.push(Violation::ViewAccuracyConnected {
                 node: p,
                 region: region.clone(),
             });
+        } else {
+            branches |= branch::CD2_CONNECTED_OK;
         }
         for member in region.iter() {
             match report.crashed.get(&member) {
-                Some(&t) if t <= d.at => {}
-                _ => violations.push(Violation::ViewAccuracyNotCrashed { node: p, member }),
+                Some(&t) if t <= d.at => branches |= branch::CD2_CRASHED_OK,
+                _ => {
+                    branches |= branch::CD2_CRASHED_BROKE;
+                    violations.push(Violation::ViewAccuracyNotCrashed { node: p, member });
+                }
             }
         }
     }
 
     // --- CD3: Locality -------------------------------------------------
     if let Some(pairs) = &report.message_pairs {
+        branches |= branch::CD3_CHECKED;
         // Precompute each domain's closure S ∪ border(S).
         let closures: Vec<BTreeSet<NodeId>> = domains
             .iter()
@@ -198,6 +279,7 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
                 .iter()
                 .any(|c| c.contains(&from) && c.contains(&to));
             if !ok {
+                branches |= branch::CD3_BROKE;
                 violations.push(Violation::Locality { from, to });
             }
         }
@@ -220,8 +302,15 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
                     // decider holding a conflicting non-subsumed view —
                     // is a violation.
                     let broke = if dq.view == dp.view {
-                        dq.value != dp.value
+                        branches |= branch::CD5_SAME_VIEW;
+                        if dq.value != dp.value {
+                            branches |= branch::CD5_VALUE_BROKE;
+                            true
+                        } else {
+                            false
+                        }
                     } else {
+                        branches |= branch::CD5_CROSS_VIEW;
                         let died_subsumed =
                             |stale: &crate::Decision<D>,
                              bigger: &crate::Decision<D>,
@@ -229,7 +318,13 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
                                 report.is_faulty(stale_node)
                                     && stale.view.region().is_subset_of(bigger.view.region())
                             };
-                        !died_subsumed(dp, dq, p) && !died_subsumed(dq, dp, q)
+                        if died_subsumed(dp, dq, p) || died_subsumed(dq, dp, q) {
+                            branches |= branch::CD5_DIED_SUBSUMED;
+                            false
+                        } else {
+                            branches |= branch::CD5_VIEW_BROKE;
+                            true
+                        }
                     };
                     if broke {
                         violations.push(Violation::UniformBorderAgreement { p, q });
@@ -237,10 +332,13 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
                 }
                 None => {
                     if !report.is_faulty(q) {
+                        branches |= branch::CD4_BROKE;
                         violations.push(Violation::BorderTermination {
                             decider: p,
                             missing: q,
                         });
+                    } else {
+                        branches |= branch::CD4_FAULTY_PEER;
                     }
                 }
             }
@@ -256,8 +354,10 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
         .collect();
     for (i, &p) in correct_deciders.iter().enumerate() {
         for &q in &correct_deciders[i + 1..] {
+            branches |= branch::CD6_COMPARED;
             let (vp, vq) = (&report.decisions[&p].view, &report.decisions[&q].view);
             if vp.region().intersects(vq.region()) && vp.region() != vq.region() {
+                branches |= branch::CD6_BROKE;
                 violations.push(Violation::ViewConvergence { p, q });
             }
         }
@@ -272,13 +372,16 @@ pub fn check_spec<D: Clone + Eq + Debug>(report: &RunReport<D>) -> Vec<Violation
                 .any(|b| !faulty.contains(&b) && report.decisions.contains_key(&b))
         });
         if !satisfied {
+            branches |= branch::CD7_BROKE;
             violations.push(Violation::Progress {
                 cluster: cluster.into_iter().map(|i| domains[i].clone()).collect(),
             });
+        } else {
+            branches |= branch::CD7_OK;
         }
     }
 
-    violations
+    (violations, branches)
 }
 
 #[cfg(test)]

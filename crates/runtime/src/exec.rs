@@ -41,7 +41,7 @@
 
 use precipice_core::{DecisionPolicy, NodeIdValuePolicy};
 use precipice_graph::NodeId;
-use precipice_sim::{Schedule, SchedulePolicy};
+use precipice_sim::{Schedule, SchedulePolicy, Trace};
 
 use crate::report::RunReport;
 
@@ -176,4 +176,10 @@ pub struct ExecOutcome<V> {
     /// The scheduling deviations actually taken (replayable; empty for
     /// a pure-FIFO execution).
     pub schedule: Schedule,
+    /// The run's trace, moved out of the finished simulation (entries
+    /// present iff the scenario recorded them). `None` on the live
+    /// engine, whose schedules the OS owns. Coverage extraction
+    /// ([`precipice_sim::race_pairs_of`]) consumes the entries without
+    /// a per-run clone.
+    pub trace: Option<Trace>,
 }

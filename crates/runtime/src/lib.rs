@@ -55,11 +55,12 @@ mod scenario;
 
 pub use adapter::{MulticastMode, ProtoMsg, ProtocolProcess};
 pub use batch::{BatchJob, BatchRunner};
-pub use checker::{check_spec, Violation};
+pub use checker::{branch, check_spec, check_spec_coverage, Violation};
 pub use domains::{faulty_clusters, faulty_domains};
 pub use exec::{Engine, Exec, ExecOutcome};
 pub use explore::{
-    probe, render_violations, shrink_schedule, Artifact, Counterexample, ScheduleProbe,
+    probe, probe_coverage, render_violations, shrink_schedule, Artifact, Counterexample,
+    ScheduleProbe,
 };
 pub use live::probe_live;
 pub use predicate::{PredicateScenario, PredicateScenarioBuilder};

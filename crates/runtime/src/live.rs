@@ -129,6 +129,7 @@ where
             outcome,
         },
         schedule: Schedule::default(),
+        trace: None,
     }
 }
 

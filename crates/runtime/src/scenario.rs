@@ -151,18 +151,23 @@ impl Scenario {
     /// which carry everything observable).
     fn collect<P: DecisionPolicy>(
         &self,
-        sim: Simulation<ProtocolProcess<P>>,
+        mut sim: Simulation<ProtocolProcess<P>>,
         outcome: RunOutcome,
     ) -> ExecOutcome<P::Value> {
         let schedule = sim.recorded_schedule().unwrap_or_default();
+        let trace = sim.take_trace();
         let report = assemble(
             self,
             sim.processes(),
             sim.metrics().clone(),
-            sim.trace(),
+            &trace,
             outcome,
         );
-        ExecOutcome { report, schedule }
+        ExecOutcome {
+            report,
+            schedule,
+            trace: Some(trace),
+        }
     }
 }
 

@@ -73,7 +73,10 @@ mod time;
 mod trace;
 
 pub use batch::{BatchRun, BatchSim, BatchVariant};
-pub use explore::{Deviation, EventKey, Schedule, SchedulePolicy};
+pub use explore::{
+    race_pairs_of, CoverageMap, Deviation, EventKey, GuidedSpec, ProbeCoverage, Schedule,
+    SchedulePolicy,
+};
 pub use fd::FailureDetector;
 pub use latency::LatencyModel;
 pub use metrics::{Metrics, NodeMetrics};

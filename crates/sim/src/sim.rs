@@ -755,6 +755,14 @@ impl<P: Process> Simulation<P> {
         &self.st.trace
     }
 
+    /// Moves the trace out of a finished run (the simulation is left
+    /// with an empty, non-recording trace) — lets result assembly hand
+    /// the recorded entries to callers without cloning the entry
+    /// buffer.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::replace(&mut self.st.trace, Trace::new(false))
+    }
+
     /// The failure detector's authoritative state.
     pub fn failure_detector(&self) -> &FailureDetector {
         &self.fd

@@ -11,10 +11,35 @@
 //! selection, shrinking — is a pure function of `(scenario, config)`,
 //! so the outcome (and any table derived from it) is **byte-identical
 //! for any `--jobs` worker count**.
+//!
+//! # Coverage-guided exploration
+//!
+//! Every probe also yields a [`ProbeCoverage`] signal — the ordered
+//! race pairs its trace executed, the view-lattice state it settled
+//! in, and the CD-checker branches its report exercised (see
+//! [`precipice_runtime::probe_coverage`]). The explorer folds those
+//! into one [`CoverageMap`] **serially, in probe order, at fixed chunk
+//! boundaries**, so the map (and every novelty verdict derived from
+//! it) is identical for any worker count.
+//!
+//! Under [`PolicyMix::Guided`] the coverage signal feeds back into
+//! schedule generation: probes whose coverage advanced the map are
+//! admitted to a bounded corpus, and later probes mutate corpus
+//! schedules — replay-and-extend, splice two parents, or flip a race
+//! pair that has only ever been seen in one order — instead of fuzzing
+//! blindly. Policies for a chunk are fixed (serially) before the chunk
+//! runs, so guided generation sees the same corpus state no matter how
+//! many workers execute the chunk.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use precipice_graph::{ring, torus, Graph, GridDims, NodeId};
 use precipice_runtime::explore as rt;
-use precipice_runtime::{check_spec, BatchJob, BatchRunner, Counterexample, Scenario};
-use precipice_sim::{Schedule, SchedulePolicy};
+use precipice_runtime::{probe_coverage, BatchJob, BatchRunner, Counterexample, Scenario};
+use precipice_sim::{
+    CoverageMap, Deviation, EventKey, GuidedSpec, Schedule, SchedulePolicy, SimTime,
+};
 
 use crate::sweep::{Jobs, SweepSpec};
 
@@ -28,35 +53,43 @@ pub enum PolicyMix {
     /// Alternate between random (odd probes) and PCR (even probes).
     #[default]
     Mixed,
+    /// Coverage-guided mutation of coverage-advancing schedules (see
+    /// the [module docs](self)); falls back to the blind mixed stream
+    /// while the corpus is empty and on every 4th probe.
+    Guided,
 }
 
 impl PolicyMix {
-    /// Parses `random` / `pcr` / `mixed`.
+    /// Parses `random` / `pcr` / `mixed` / `guided`.
     pub fn parse(s: &str) -> Result<PolicyMix, String> {
         match s {
             "random" => Ok(PolicyMix::Random),
             "pcr" => Ok(PolicyMix::Pcr),
             "mixed" => Ok(PolicyMix::Mixed),
+            "guided" => Ok(PolicyMix::Guided),
             other => Err(format!(
-                "unknown policy {other:?} (want random | pcr | mixed)"
+                "unknown policy {other:?} (want random | pcr | mixed | guided)"
             )),
         }
     }
 
     /// The policy of probe `index` under exploration seed `seed`
     /// (probe 0 is always the FIFO baseline).
+    ///
+    /// For [`PolicyMix::Guided`] this returns the blind bootstrap
+    /// stream (the mixed policy): guided mutation needs the live
+    /// corpus and coverage map, which only [`explore_scenario`]'s
+    /// chunk loop holds — see `guided_policy` there.
     pub fn policy_for(self, seed: u64, index: u64) -> SchedulePolicy {
         if index == 0 {
             return SchedulePolicy::Fifo;
         }
         // Distinct stream per probe, decorrelated from consecutive seeds.
-        let probe_seed = seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(index.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let probe_seed = probe_seed(seed, index);
         match self {
             PolicyMix::Random => SchedulePolicy::Random(probe_seed),
             PolicyMix::Pcr => SchedulePolicy::Pcr(probe_seed),
-            PolicyMix::Mixed => {
+            PolicyMix::Mixed | PolicyMix::Guided => {
                 if index % 2 == 1 {
                     SchedulePolicy::Random(probe_seed)
                 } else {
@@ -65,6 +98,130 @@ impl PolicyMix {
             }
         }
     }
+}
+
+/// Per-probe seed stream (decorrelated from consecutive seeds and
+/// indices).
+fn probe_seed(seed: u64, index: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// One splitmix64 step — the guided driver's mutation-selection
+/// stream, independent of the schedule policies' private RNGs.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Most coverage-advancing schedules the guided corpus retains (ring
+/// replacement beyond that: newest admission evicts the oldest).
+const CORPUS_CAP: usize = 64;
+
+/// The corpus-aware policy of probe `index`: blind streams verbatim,
+/// guided mutation when a corpus exists. Called serially at chunk
+/// boundaries, so the `(corpus, coverage)` state it reads is a pure
+/// function of the processed prefix — identical for any worker count.
+fn guided_policy(
+    scenario: &Scenario,
+    cfg: &ExploreConfig,
+    index: u64,
+    corpus: &[Schedule],
+    coverage: &CoverageMap,
+) -> SchedulePolicy {
+    if cfg.policy != PolicyMix::Guided || index == 0 {
+        return cfg.policy.policy_for(cfg.seed, index);
+    }
+    // Directed smoke pass before any random spend: pull each scheduled
+    // crash (latest first — the late crashes are the ones FIFO never
+    // lets overlap a live instance) to the very first schedule step and
+    // run FIFO from there. One deterministic probe per crash, and the
+    // cheapest way to hit the crash-order races that blind fuzzing only
+    // finds by accident; the recorded pulls also seed the corpus.
+    let pulls = scenario.crashes.len().min(8) as u64;
+    if index <= pulls {
+        let mut order = scenario.crashes.clone();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let (node, _) = order[(index - 1) as usize];
+        return SchedulePolicy::Replay(Schedule::new(vec![Deviation {
+            step: 0,
+            key: EventKey::Crash { node },
+        }]));
+    }
+    // Bootstrap (and every other index pair thereafter) stays on the
+    // blind mixed stream: fresh randomness keeps feeding the corpus
+    // starting points the mutations could never reach on their own.
+    // `% 4 < 2` rather than `% 2` so the blind half covers both parities
+    // and therefore both of Mixed's streams (Random on odd, Pcr on even).
+    if corpus.is_empty() || index % 4 < 2 {
+        return PolicyMix::Mixed.policy_for(cfg.seed, index);
+    }
+    let mut st = probe_seed(cfg.seed, index);
+    let base = corpus[(splitmix(&mut st) as usize) % corpus.len()].clone();
+    let extend_seed = splitmix(&mut st);
+    let spec = match splitmix(&mut st) % 4 {
+        // Replay the parent and wander past its end.
+        0 => GuidedSpec {
+            base,
+            seed: extend_seed,
+            flip: None,
+        },
+        // Reverse a race pair seen in only one order so far.
+        1 => {
+            let never = coverage.never_flipped();
+            let flip =
+                (!never.is_empty()).then(|| never[(splitmix(&mut st) as usize) % never.len()]);
+            GuidedSpec {
+                base,
+                seed: extend_seed,
+                flip,
+            }
+        }
+        // Splice: the parent's prefix up to a cut step, a second
+        // parent's suffix after it (steps stay strictly increasing).
+        2 => {
+            let donor = &corpus[(splitmix(&mut st) as usize) % corpus.len()];
+            let cut = base.deviations[(splitmix(&mut st) as usize) % base.deviations.len()].step;
+            let mut devs: Vec<Deviation> = base
+                .deviations
+                .iter()
+                .copied()
+                .filter(|d| d.step <= cut)
+                .collect();
+            devs.extend(donor.deviations.iter().copied().filter(|d| d.step > cut));
+            GuidedSpec {
+                base: Schedule::new(devs),
+                seed: extend_seed,
+                flip: None,
+            }
+        }
+        // Crash pull: force one of the scenario's crashes to fire at
+        // an early schedule step and explore freely from there (the
+        // guided extension takes over right after the pull). Crash
+        // reordering is the protocol's deepest schedule sensitivity —
+        // a late crash pulled into a live instance is what turns
+        // disjoint consensus instances into arbitrating ones — and
+        // plain per-event randomness rarely lands the pull *and* the
+        // follow-up race in one probe. The parent is deliberately not
+        // replayed past the pull: its recorded deviations reference
+        // event orders the pull just invalidated.
+        _ => {
+            let (node, _) = scenario.crashes[(splitmix(&mut st) as usize) % scenario.crashes.len()];
+            let step = splitmix(&mut st) % 32;
+            GuidedSpec {
+                base: Schedule::new(vec![Deviation {
+                    step,
+                    key: EventKey::Crash { node },
+                }]),
+                seed: extend_seed,
+                flip: None,
+            }
+        }
+    };
+    SchedulePolicy::Guided(spec)
 }
 
 /// Configuration of one exploration.
@@ -82,8 +239,15 @@ pub struct ExploreConfig {
     pub stop_after: usize,
     /// Shrink at most this many counterexamples (the earliest probes).
     pub max_counterexamples: usize,
-    /// Replay budget per shrink (ddmin iterations).
+    /// Replay budget per shrink (ddmin iterations; `0` skips the
+    /// shrink phase entirely — no replays are spent).
     pub shrink_runs: u64,
+    /// Probes per serial merge chunk — the early-stop granularity and
+    /// the guided feedback latency. The default [`FEED_CHUNK`]
+    /// preserves the historical stop boundaries; guided runs may
+    /// prefer a much smaller chunk (even below one wave) so the
+    /// corpus reacts faster at the cost of narrower parallelism.
+    pub chunk: usize,
 }
 
 impl Default for ExploreConfig {
@@ -97,6 +261,7 @@ impl Default for ExploreConfig {
             stop_after: 0,
             max_counterexamples: 3,
             shrink_runs: 400,
+            chunk: FEED_CHUNK,
         }
     }
 }
@@ -140,6 +305,10 @@ pub struct ExploreOutcome {
     /// Shrunk counterexamples as `(probe index, counterexample)`, for
     /// the earliest violating probes.
     pub counterexamples: Vec<(u64, Counterexample)>,
+    /// Aggregate coverage over every explored probe: race pairs (and
+    /// which orders were seen), distinct view-lattice states, and the
+    /// CD-checker branch mask.
+    pub coverage: CoverageMap,
 }
 
 impl ExploreOutcome {
@@ -174,6 +343,16 @@ impl ExploreOutcome {
     pub fn max_deviations(&self) -> usize {
         self.probes.iter().map(|p| p.deviations).max().unwrap_or(0)
     }
+
+    /// Distinct view-lattice states per 1000 explored schedules — the
+    /// coverage yield of the exploration, comparable across policies
+    /// on the same scenario.
+    pub fn states_per_1000(&self) -> f64 {
+        if self.probes.is_empty() {
+            return 0.0;
+        }
+        self.coverage.distinct_states() as f64 * 1000.0 / self.probes.len() as f64
+    }
 }
 
 /// Explores `cfg.budget` schedules of `scenario` across `jobs` workers
@@ -181,84 +360,360 @@ impl ExploreOutcome {
 /// counterexamples. Deterministic for any worker count (see the
 /// [module docs](self)).
 pub fn explore_scenario(scenario: &Scenario, cfg: &ExploreConfig, jobs: Jobs) -> ExploreOutcome {
-    // Streamed feed: memory tracks the processed prefix, never the raw
-    // budget, so `--budget 4000000000 --stop-after 1` is fine. The feed
-    // unit is one lockstep *wave* of `WAVE` probes through a per-worker
-    // [`BatchRunner`] (slot arenas reused across every wave the worker
-    // claims); per-probe results are bit-identical to scalar
-    // [`rt::probe`] runs by the engine-equivalence contract, and chunk
-    // boundaries land on the same probe counts as the historical
-    // per-probe feed (`FEED_CHUNK % WAVE == 0`), so the digests — and
-    // any early-stopped prefix — are byte-identical to it.
+    // Streamed chunk loop: memory tracks the processed prefix, never
+    // the raw budget, so `--budget 4000000000 --stop-after 1` is fine.
+    // Each chunk's policies are fixed serially up front (guided
+    // mutation reads the corpus/coverage state as of the chunk
+    // boundary), the chunk's waves run in parallel through per-worker
+    // [`BatchRunner`]s (slot arenas reused across every wave the
+    // worker claims; per-probe results bit-identical to scalar
+    // [`rt::probe`] runs by the engine-equivalence contract), and the
+    // results merge back serially in probe order — carrying a running
+    // violating-probe count (O(1) per probe; the historical feed
+    // re-scanned the whole prefix at every chunk boundary) and the
+    // coverage fold. Chunk boundaries at the default [`FEED_CHUNK`]
+    // land on the same probe counts as the historical per-probe feed,
+    // so blind digests — and any early-stopped prefix — are
+    // byte-identical to it, for any worker count.
     const _: () = assert!(FEED_CHUNK.is_multiple_of(WAVE));
     let budget = usize::try_from(cfg.budget.max(1)).unwrap_or(usize::MAX);
-    let waves = budget.div_ceil(WAVE);
-    let digests: Vec<Vec<ProbeDigest>> = SweepSpec::new(jobs).chunked(FEED_CHUNK / WAVE).feed_with(
-        waves,
-        || BatchRunner::with_default_policy(scenario, WAVE),
-        |runner, wave| {
-            let lo = wave * WAVE;
-            let hi = lo.saturating_add(WAVE).min(budget);
-            let batch: Vec<BatchJob> = (lo..hi)
-                .map(|index| BatchJob {
-                    seed: scenario.sim.seed,
-                    policy: cfg.policy.policy_for(cfg.seed, index as u64),
-                })
-                .collect();
-            runner
-                .run(&batch)
-                .into_iter()
-                .zip(&batch)
-                .zip(lo..hi)
-                .map(|((out, job), index)| {
-                    let violations = check_spec(&out.report).len();
-                    ProbeDigest {
-                        index: index as u64,
-                        policy: job.policy.tag(),
-                        trace_hash: out.report.trace_hash,
-                        deviations: out.schedule.len(),
-                        events: out.report.outcome.events(),
-                        violations,
-                        schedule: (violations > 0).then_some(out.schedule),
-                    }
-                })
-                .collect()
-        },
-        |done: &[Vec<ProbeDigest>]| {
-            cfg.stop_after > 0
-                && done.iter().flatten().filter(|p| p.violations > 0).count() >= cfg.stop_after
-        },
-    );
-    let probes: Vec<ProbeDigest> = digests.into_iter().flatten().collect();
+    let chunk = cfg.chunk.max(1);
+    let spec = SweepSpec::new(jobs);
+
+    let mut probes: Vec<ProbeDigest> = Vec::new();
+    let mut coverage = CoverageMap::new();
+    let mut corpus: Vec<Schedule> = Vec::new();
+    let mut admitted: usize = 0;
+    let mut violating: usize = 0;
+    let mut start = 0usize;
+    while start < budget {
+        let end = start.saturating_add(chunk).min(budget);
+        let batch: Vec<BatchJob> = (start..end)
+            .map(|index| BatchJob {
+                seed: scenario.sim.seed,
+                policy: guided_policy(scenario, cfg, index as u64, &corpus, &coverage),
+            })
+            .collect();
+        let waves: Vec<usize> = (0..batch.len()).step_by(WAVE).collect();
+        let wave_results = spec.map_with(
+            &waves,
+            || BatchRunner::with_default_policy(scenario, WAVE),
+            |runner, _w, &lo| {
+                let hi = lo.saturating_add(WAVE).min(batch.len());
+                let wave_jobs = &batch[lo..hi];
+                runner
+                    .run(wave_jobs)
+                    .into_iter()
+                    .zip(wave_jobs)
+                    .enumerate()
+                    .map(|(k, (out, job))| {
+                        let (violations, cov) = probe_coverage(&out);
+                        let digest = ProbeDigest {
+                            index: (start + lo + k) as u64,
+                            policy: job.policy.tag(),
+                            trace_hash: out.report.trace_hash,
+                            deviations: out.schedule.len(),
+                            events: out.report.outcome.events(),
+                            violations: violations.len(),
+                            schedule: None,
+                        };
+                        (digest, cov, out.schedule)
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+        for (mut digest, cov, schedule) in wave_results.into_iter().flatten() {
+            if digest.violations > 0 {
+                digest.schedule = Some(schedule.clone());
+                violating += 1;
+            }
+            // The serial, probe-order coverage fold: novelty verdicts
+            // (and therefore corpus contents) are worker-independent.
+            if coverage.observe(&cov) && !schedule.is_empty() {
+                if corpus.len() < CORPUS_CAP {
+                    corpus.push(schedule);
+                } else {
+                    corpus[admitted % CORPUS_CAP] = schedule;
+                }
+                admitted += 1;
+            }
+            probes.push(digest);
+        }
+        start = end;
+        if cfg.stop_after > 0 && violating >= cfg.stop_after {
+            break;
+        }
+    }
 
     // Shrink the earliest violating probes, serially and in probe order
     // (the parallel phase is over; shrinking is replay-bound anyway).
     // Different probes often minimize to the *same* run — report each
-    // distinct minimized counterexample once.
+    // distinct minimized counterexample once. A zero replay budget
+    // skips the phase outright.
     let mut counterexamples: Vec<(u64, Counterexample)> = Vec::new();
-    // Bound the shrink work: duplicates cost replays too.
-    let attempts = cfg.max_counterexamples.saturating_mul(4);
-    for p in probes.iter().filter(|p| p.violations > 0).take(attempts) {
-        if counterexamples.len() >= cfg.max_counterexamples {
-            break;
-        }
-        let schedule = p
-            .schedule
-            .as_ref()
-            .expect("violating probes keep schedules");
-        let ce = rt::shrink_schedule(scenario, schedule, cfg.shrink_runs);
-        if counterexamples
-            .iter()
-            .all(|(_, seen)| seen.trace_hash != ce.trace_hash)
-        {
-            counterexamples.push((p.index, ce));
+    if cfg.shrink_runs > 0 {
+        // Bound the shrink work: duplicates cost replays too.
+        let attempts = cfg.max_counterexamples.saturating_mul(4);
+        for p in probes.iter().filter(|p| p.violations > 0).take(attempts) {
+            if counterexamples.len() >= cfg.max_counterexamples {
+                break;
+            }
+            let schedule = p
+                .schedule
+                .as_ref()
+                .expect("violating probes keep schedules");
+            let ce = rt::shrink_schedule(scenario, schedule, cfg.shrink_runs);
+            if counterexamples
+                .iter()
+                .all(|(_, seen)| seen.trace_hash != ce.trace_hash)
+            {
+                counterexamples.push((p.index, ce));
+            }
         }
     }
 
     ExploreOutcome {
         probes,
         counterexamples,
+        coverage,
     }
+}
+
+// --- Scenario shrinking ------------------------------------------------
+
+/// How a scenario's topology can be shrunk. A [`Graph`] does not
+/// remember which generator built it, so the caller names the family
+/// (the CLI derives it from its own `--topology` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrinkTopology {
+    /// A `side × side` torus; shrinking to side `s'` remaps crash
+    /// `(r, c)` to `(r mod s', c mod s')`.
+    Torus {
+        /// Current side length.
+        side: usize,
+    },
+    /// An `n`-node ring; shrinking to `n'` remaps crash `id` to
+    /// `id mod n'`.
+    Ring {
+        /// Current node count.
+        n: usize,
+    },
+    /// An opaque topology: shrink only the crash list and the
+    /// schedule, never the graph.
+    Fixed,
+}
+
+impl ShrinkTopology {
+    /// Candidate smaller sizes, most aggressive first: halve (floored
+    /// at the family minimum), then decrement.
+    fn candidates(self) -> Vec<usize> {
+        let (size, min) = match self {
+            // The generators' floors: wraparound below these would
+            // create duplicate or self edges.
+            ShrinkTopology::Torus { side } => (side, 3),
+            ShrinkTopology::Ring { n } => (n, 3),
+            ShrinkTopology::Fixed => return Vec::new(),
+        };
+        let mut v = Vec::new();
+        let half = (size / 2).max(min);
+        if half < size {
+            v.push(half);
+        }
+        let dec = size - 1;
+        if dec >= min && dec < size && Some(&dec) != v.first() {
+            v.push(dec);
+        }
+        v
+    }
+
+    /// The same family at `size`.
+    fn at(self, size: usize) -> ShrinkTopology {
+        match self {
+            ShrinkTopology::Torus { .. } => ShrinkTopology::Torus { side: size },
+            ShrinkTopology::Ring { .. } => ShrinkTopology::Ring { n: size },
+            ShrinkTopology::Fixed => ShrinkTopology::Fixed,
+        }
+    }
+
+    /// Rebuilds `scenario` on this family at `size`, remapping every
+    /// crash onto the smaller graph.
+    fn rebuild_at(self, scenario: &Scenario, size: usize) -> Scenario {
+        let (graph, remap): (Graph, Box<dyn Fn(NodeId) -> NodeId>) = match self {
+            ShrinkTopology::Torus { side } => (
+                torus(GridDims::square(size)),
+                Box::new(move |id: NodeId| {
+                    let (r, c) = (id.0 as usize / side, id.0 as usize % side);
+                    NodeId(((r % size) * size + (c % size)) as u32)
+                }),
+            ),
+            ShrinkTopology::Ring { .. } => (
+                ring(size),
+                Box::new(move |id: NodeId| NodeId(id.0 % size as u32)),
+            ),
+            ShrinkTopology::Fixed => unreachable!("Fixed yields no candidates"),
+        };
+        let crashes = scenario
+            .crashes
+            .iter()
+            .map(|&(node, at)| (remap(node), at))
+            .collect();
+        sealed(scenario, Arc::new(graph), crashes)
+    }
+}
+
+/// What [`shrink_scenario`] produced: the minimized scenario, a shrunk
+/// schedule on it, and the before/after accounting.
+#[derive(Debug, Clone)]
+pub struct ScenarioShrink {
+    /// The minimized scenario — it still violates the specification.
+    pub scenario: Scenario,
+    /// A shrunk violating schedule on the minimized scenario.
+    pub counterexample: Counterexample,
+    /// Node count of the input scenario's graph.
+    pub nodes_before: usize,
+    /// Node count after topology shrinking.
+    pub nodes_after: usize,
+    /// Crash count of the input scenario.
+    pub crashes_before: usize,
+    /// Crash count after crash minimization.
+    pub crashes_after: usize,
+    /// Exploration probes the shrinker's violation oracle spent (the
+    /// final schedule shrink additionally spends up to
+    /// [`ExploreConfig::shrink_runs`] replays).
+    pub probes_spent: u64,
+}
+
+/// Probes the violation oracle spends per candidate scenario.
+const ORACLE_PROBES: u64 = 48;
+
+/// The shrinker's violation oracle: the first violating schedule among
+/// the FIFO baseline and `probes - 1` blind mixed probes. Serial and a
+/// pure function of `(scenario, seed)`, so every shrinking decision —
+/// and the final result — is byte-identical at any `--jobs`.
+fn violating_schedule(scenario: &Scenario, seed: u64, spent: &mut u64) -> Option<Schedule> {
+    for index in 0..ORACLE_PROBES {
+        *spent += 1;
+        let p = rt::probe(scenario, PolicyMix::Mixed.policy_for(seed, index));
+        if !p.violations.is_empty() {
+            return Some(p.schedule);
+        }
+    }
+    None
+}
+
+/// Rebuilds `scenario` with `graph` and `crashes`, folding duplicate
+/// crash entries to the earliest time in first-occurrence order — the
+/// same seal rule [`ScenarioBuilder::build`](precipice_runtime::ScenarioBuilder)
+/// applies (remapping two crashes onto one node must not schedule it
+/// twice).
+fn sealed(scenario: &Scenario, graph: Arc<Graph>, crashes: Vec<(NodeId, SimTime)>) -> Scenario {
+    let mut folded: Vec<(NodeId, SimTime)> = Vec::with_capacity(crashes.len());
+    let mut index: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (node, at) in crashes {
+        match index.get(&node) {
+            Some(&i) => folded[i].1 = folded[i].1.min(at),
+            None => {
+                index.insert(node, folded.len());
+                folded.push((node, at));
+            }
+        }
+    }
+    Scenario {
+        name: scenario.name.clone(),
+        graph,
+        crashes: folded,
+        sim: scenario.sim,
+        protocol: scenario.protocol,
+        multicast: scenario.multicast,
+    }
+}
+
+/// Greedy crash minimization: drop single crashes right-to-left while
+/// the oracle still finds a violation, repeated until a full pass
+/// removes nothing (dropping one crash changes every other crash's
+/// context). Never drops below one crash.
+fn drop_crashes(current: &mut Scenario, seed: u64, spent: &mut u64) {
+    loop {
+        let mut removed = false;
+        let mut i = current.crashes.len();
+        while i > 0 && current.crashes.len() > 1 {
+            i -= 1;
+            let mut crashes = current.crashes.clone();
+            crashes.remove(i);
+            let candidate = sealed(current, Arc::clone(&current.graph), crashes);
+            if violating_schedule(&candidate, seed, spent).is_some() {
+                *current = candidate;
+                removed = true;
+                i = i.min(current.crashes.len());
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+/// Shrinks a violating **scenario**, extending ddmin beyond the
+/// deviation list: greedily drops crashes, walks the topology down a
+/// halve-then-decrement ladder (remapping the surviving crashes onto
+/// the smaller graph), re-minimizes the crashes, and finally shrinks
+/// the violating schedule itself with [`rt::shrink_schedule`].
+///
+/// Returns `None` when the oracle finds no violation on the input
+/// scenario within its probe budget (nothing to shrink). Every step is
+/// serial and deterministic in `(scenario, cfg.seed)` — byte-identical
+/// at any `--jobs`.
+pub fn shrink_scenario(
+    scenario: &Scenario,
+    topology: ShrinkTopology,
+    cfg: &ExploreConfig,
+) -> Option<ScenarioShrink> {
+    let mut spent: u64 = 0;
+    violating_schedule(scenario, cfg.seed, &mut spent)?;
+    let nodes_before = scenario.graph.nodes().count();
+    let crashes_before = scenario.crashes.len();
+    let mut current = scenario.clone();
+
+    // Fewer crashes first: a smaller fault pattern both speeds up the
+    // ladder's oracle calls and remaps more cleanly.
+    drop_crashes(&mut current, cfg.seed, &mut spent);
+
+    // Topology ladder: commit the first smaller size that still
+    // violates, then try to shrink further from there.
+    let mut topo = topology;
+    loop {
+        let mut stepped = false;
+        for size in topo.candidates() {
+            let candidate = topo.rebuild_at(&current, size);
+            if violating_schedule(&candidate, cfg.seed, &mut spent).is_some() {
+                current = candidate;
+                topo = topo.at(size);
+                stepped = true;
+                break;
+            }
+        }
+        if !stepped {
+            break;
+        }
+    }
+
+    // The smaller topology may get by with fewer crashes still.
+    drop_crashes(&mut current, cfg.seed, &mut spent);
+
+    let schedule = violating_schedule(&current, cfg.seed, &mut spent)
+        .expect("every committed step preserved the violation");
+    let counterexample = rt::shrink_schedule(&current, &schedule, cfg.shrink_runs);
+    let nodes_after = current.graph.nodes().count();
+    let crashes_after = current.crashes.len();
+    Some(ScenarioShrink {
+        scenario: current,
+        counterexample,
+        nodes_before,
+        nodes_after,
+        crashes_before,
+        crashes_after,
+        probes_spent: spent,
+    })
 }
 
 #[cfg(test)]
@@ -347,6 +802,232 @@ mod tests {
             assert_eq!(p.events, probe.report.outcome.events());
             assert_eq!(p.violations, probe.violations.len());
         }
+    }
+
+    #[test]
+    fn guided_outcome_is_worker_independent() {
+        let s = scenario(true);
+        let cfg = ExploreConfig {
+            budget: 96,
+            seed: 4,
+            policy: PolicyMix::Guided,
+            chunk: 32,
+            shrink_runs: 0,
+            ..ExploreConfig::default()
+        };
+        let a = explore_scenario(&s, &cfg, Jobs::serial());
+        let b = explore_scenario(&s, &cfg, Jobs::new(4));
+        assert_eq!(a.schedules(), 96);
+        assert!(
+            a.probes.iter().any(|p| p.policy == "guided"),
+            "the corpus admitted schedules and mutation kicked in"
+        );
+        let fingerprint = |o: &ExploreOutcome| -> Vec<(u64, &'static str, u64, usize, usize)> {
+            o.probes
+                .iter()
+                .map(|p| (p.index, p.policy, p.trace_hash, p.deviations, p.violations))
+                .collect()
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(a.coverage, b.coverage, "coverage fold is jobs-independent");
+        assert!(a.coverage.distinct_states() > 1);
+        assert!(a.coverage.race_pairs() > 0);
+        assert!(a.states_per_1000() > 0.0);
+    }
+
+    #[test]
+    fn guided_probes_replay_bit_for_bit_on_scalar_and_batched_engines() {
+        use precipice_runtime::Exec;
+        use precipice_sim::GuidedSpec;
+
+        let s = scenario(false);
+        // A guided mutant built the way the driver builds them: a
+        // recorded schedule as base, a fresh extension seed.
+        let base = rt::probe(&s, SchedulePolicy::Random(21)).schedule;
+        assert!(!base.is_empty());
+        let policy = SchedulePolicy::Guided(GuidedSpec {
+            base,
+            seed: 77,
+            flip: None,
+        });
+        let scalar = s.exec(Exec::new().schedule(policy.clone()));
+        let mut runner = BatchRunner::with_default_policy(&s, 4);
+        let batched = runner
+            .run(&[BatchJob {
+                seed: s.sim.seed,
+                policy: policy.clone(),
+            }])
+            .pop()
+            .expect("one outcome");
+        assert_eq!(scalar.report.trace_hash, batched.report.trace_hash);
+        assert_eq!(scalar.schedule, batched.schedule);
+        // And the recorded deviations replay the run bit-for-bit.
+        let replay = s.exec(Exec::new().schedule(SchedulePolicy::Replay(scalar.schedule.clone())));
+        assert_eq!(replay.report.trace_hash, scalar.report.trace_hash);
+        assert_eq!(replay.schedule, scalar.schedule);
+    }
+
+    #[test]
+    fn coverage_merge_is_associative_over_probe_batches() {
+        use precipice_sim::CoverageMap;
+
+        // Real per-probe coverages from real runs, merged in different
+        // groupings and orders — the property the parallel fold relies
+        // on.
+        let s = scenario(true);
+        let covs: Vec<_> = (0..12)
+            .map(|i| {
+                let out = s.exec(
+                    precipice_runtime::Exec::new().schedule(PolicyMix::Mixed.policy_for(3, i)),
+                );
+                let (_, cov) = probe_coverage(&out);
+                let mut m = CoverageMap::new();
+                m.observe(&cov);
+                m
+            })
+            .collect();
+        let merge_all = |order: &[usize], split: usize| -> CoverageMap {
+            let (lo, hi) = order.split_at(split);
+            let mut left = CoverageMap::new();
+            for &i in lo {
+                left.merge(&covs[i]);
+            }
+            let mut right = CoverageMap::new();
+            for &i in hi {
+                right.merge(&covs[i]);
+            }
+            left.merge(&right);
+            left
+        };
+        let forward: Vec<usize> = (0..covs.len()).collect();
+        let backward: Vec<usize> = (0..covs.len()).rev().collect();
+        let a = merge_all(&forward, 3);
+        let b = merge_all(&forward, 9);
+        let c = merge_all(&backward, 6);
+        assert_eq!(a, b, "associative over groupings");
+        assert_eq!(a, c, "commutative over orders");
+    }
+
+    #[test]
+    fn guided_exploration_finds_planted_bug() {
+        let s = scenario(true);
+        let cfg = ExploreConfig {
+            budget: 256,
+            seed: 1,
+            policy: PolicyMix::Guided,
+            stop_after: 1,
+            max_counterexamples: 1,
+            chunk: 32,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore_scenario(&s, &cfg, Jobs::new(2));
+        assert!(outcome.violating() > 0, "guided must catch the planted bug");
+        assert!(!outcome.counterexamples.is_empty());
+    }
+
+    #[test]
+    fn scenario_shrinking_reduces_nodes_and_crashes_on_planted_bug() {
+        use precipice_core::ProtocolConfig as PC;
+        // The runtime crate's planted-bug scenario: 5×5 torus, three
+        // crashes, inverted view arbitration.
+        let big = Scenario::builder(torus(GridDims::square(5)))
+            .crash(NodeId(6), SimTime::from_millis(1))
+            .crash(NodeId(7), SimTime::from_millis(3))
+            .crash(NodeId(12), SimTime::from_millis(5))
+            .protocol(PC::faithful().with_inverted_arbitration(true))
+            .seed(2)
+            .build();
+        let cfg = ExploreConfig {
+            seed: 1,
+            shrink_runs: 400,
+            ..ExploreConfig::default()
+        };
+        let shrunk = shrink_scenario(&big, ShrinkTopology::Torus { side: 5 }, &cfg)
+            .expect("the planted bug violates, so there is something to shrink");
+        assert_eq!(shrunk.nodes_before, 25);
+        assert_eq!(shrunk.crashes_before, 3);
+        assert!(
+            shrunk.nodes_after <= 16,
+            "topology must shrink to <= 4x4, got {} nodes",
+            shrunk.nodes_after
+        );
+        assert!(
+            shrunk.crashes_after <= 2,
+            "crash list must shrink to <= 2, got {}",
+            shrunk.crashes_after
+        );
+        assert!(!shrunk.counterexample.violations.is_empty());
+        // The minimized scenario + shrunk schedule reproduce the
+        // violation from scratch.
+        let replayed = rt::probe(
+            &shrunk.scenario,
+            SchedulePolicy::Replay(shrunk.counterexample.schedule.clone()),
+        );
+        assert_eq!(replayed.report.trace_hash, shrunk.counterexample.trace_hash);
+        assert!(!replayed.violations.is_empty());
+        // Deterministic: a second run makes identical decisions.
+        let again = shrink_scenario(&big, ShrinkTopology::Torus { side: 5 }, &cfg).unwrap();
+        assert_eq!(again.nodes_after, shrunk.nodes_after);
+        assert_eq!(again.crashes_after, shrunk.crashes_after);
+        assert_eq!(again.scenario.crashes, shrunk.scenario.crashes);
+        assert_eq!(
+            again.counterexample.schedule,
+            shrunk.counterexample.schedule
+        );
+        assert_eq!(again.probes_spent, shrunk.probes_spent);
+    }
+
+    #[test]
+    fn scenario_shrinking_of_clean_scenario_is_none() {
+        let s = scenario(false);
+        let cfg = ExploreConfig::default();
+        assert!(shrink_scenario(&s, ShrinkTopology::Torus { side: 4 }, &cfg).is_none());
+    }
+
+    #[test]
+    fn fixed_topology_shrinks_crashes_and_schedule_only() {
+        let s = scenario(true);
+        let cfg = ExploreConfig {
+            seed: 1,
+            ..ExploreConfig::default()
+        };
+        let shrunk = shrink_scenario(&s, ShrinkTopology::Fixed, &cfg).expect("violating");
+        assert_eq!(shrunk.nodes_after, shrunk.nodes_before, "graph untouched");
+        assert!(shrunk.crashes_after <= shrunk.crashes_before);
+        assert!(!shrunk.counterexample.violations.is_empty());
+    }
+
+    #[test]
+    fn enormous_budget_with_stop_after_is_linear_in_the_prefix() {
+        // The running violating-probe count makes the early-stop check
+        // O(1) per probe, and the streamed chunk loop never
+        // materializes the budget — so a 4-billion-probe budget with
+        // `stop_after: 1` costs only the explored prefix.
+        let s = scenario(true);
+        let cfg = ExploreConfig {
+            budget: 4_000_000_000,
+            seed: 1,
+            stop_after: 1,
+            max_counterexamples: 1,
+            shrink_runs: 0,
+            ..ExploreConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let outcome = explore_scenario(&s, &cfg, Jobs::serial());
+        assert!(outcome.violating() >= 1, "stop condition was reached");
+        assert!(
+            outcome.schedules() <= 2 * FEED_CHUNK as u64,
+            "stopped within the first chunks, got {}",
+            outcome.schedules()
+        );
+        assert!(
+            outcome.counterexamples.is_empty(),
+            "shrink_runs: 0 skips the shrink phase"
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(60),
+            "the feed must be linear in the explored prefix"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ use precipice::graph::{to_dot, Graph, GridDims, NodeId, Region};
 use precipice::runtime::explore::{probe, render_violations, Artifact};
 use precipice::runtime::{check_spec, Exec, MulticastMode, RunDigest, RunReport, Scenario};
 use precipice::sim::{LatencyModel, SchedulePolicy, SimConfig, SimTime};
-use precipice::workload::explore::{explore_scenario, ExploreConfig, PolicyMix};
+use precipice::workload::explore::{
+    explore_scenario, shrink_scenario, ExploreConfig, PolicyMix, ShrinkTopology,
+};
 use precipice::workload::patterns::{bfs_ball, blob_of_size, line_region, schedule, CrashTiming};
 use precipice::workload::stats::summarize;
 use precipice::workload::sweep::{Jobs, SweepSpec};
@@ -76,11 +78,17 @@ OPTIONS:
 
 CHECK OPTIONS (adversarial schedule exploration):
     --budget <n>        schedules to explore        [default: 1000]
-    --policy <p>        random | pcr | mixed        [default: mixed]
+    --policy <p>        random | pcr | mixed | guided
+                        (guided = coverage-guided corpus mutation)
+                                                    [default: mixed]
     --stop-after <k>    stop once k violating schedules were found
                         (0 = always spend the whole budget) [default: 0]
     --artifact <path>   write the first shrunk counterexample here
                         (default: print it inline; sim backend only)
+    --shrink-scenario   also minimize the *scenario* of the first
+                        violation: drop crashes, shrink torus/ring
+                        topologies (crashes remapped), re-shrink the
+                        schedule on the result (sim backend only)
     --backend <b>       sim | live — explore simulator schedules, or
                         gate the sharded live runtime and explore *real*
                         backend schedules one released event at a time
@@ -540,6 +548,7 @@ struct CheckOptions {
     policy: PolicyMix,
     stop_after: usize,
     artifact: Option<String>,
+    shrink_scenario: bool,
     backend: CheckBackend,
     shards: usize,
 }
@@ -551,6 +560,7 @@ fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions,
     let mut policy = PolicyMix::Mixed;
     let mut stop_after: usize = 0;
     let mut artifact: Option<String> = None;
+    let mut shrink_scenario = false;
     let mut backend = CheckBackend::Sim;
     let mut shards: usize = 2;
     let mut rest: Vec<String> = Vec::new();
@@ -576,6 +586,7 @@ fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions,
                     .map_err(|e| format!("--stop-after: {e}"))?
             }
             "--artifact" => artifact = Some(value("--artifact")?),
+            "--shrink-scenario" => shrink_scenario = true,
             "--backend" => {
                 backend = match value("--backend")?.as_str() {
                     "sim" => CheckBackend::Sim,
@@ -603,12 +614,16 @@ fn parse_check_args<I: Iterator<Item = String>>(args: I) -> Result<CheckOptions,
             "--artifact applies to the sim backend only; live schedules replay by seed".to_owned(),
         );
     }
+    if backend == CheckBackend::Live && shrink_scenario {
+        return Err("--shrink-scenario applies to the sim backend only".to_owned());
+    }
     Ok(CheckOptions {
         base,
         budget,
         policy,
         stop_after,
         artifact,
+        shrink_scenario,
         backend,
         shards,
     })
@@ -658,6 +673,21 @@ fn options_from_spec(spec: &BTreeMap<String, String>) -> Result<Options, String>
         }
     }
     Ok(opts)
+}
+
+/// Derives the shrinkable topology family from the `--topology` spec:
+/// only the sized regular families (`torus:<s>`, `ring:<n>`) support
+/// size shrinking; anything else keeps its graph and shrinks crashes
+/// and schedule only.
+fn shrink_topology_of(spec: &str) -> ShrinkTopology {
+    let num = |s: &str| s.parse::<usize>().ok();
+    match spec.split(':').collect::<Vec<_>>().as_slice() {
+        ["torus", side] => {
+            num(side).map_or(ShrinkTopology::Fixed, |side| ShrinkTopology::Torus { side })
+        }
+        ["ring", n] => num(n).map_or(ShrinkTopology::Fixed, |n| ShrinkTopology::Ring { n }),
+        _ => ShrinkTopology::Fixed,
+    }
 }
 
 /// Runs the `check` subcommand. Returns `Ok(true)` when no schedule
@@ -754,6 +784,41 @@ fn run_check(opts: &CheckOptions) -> Result<bool, String> {
             }
         }
         println!();
+    }
+
+    if opts.shrink_scenario && outcome.violating() > 0 {
+        match shrink_scenario(&scenario, shrink_topology_of(&base.topology), &cfg) {
+            Some(s) => {
+                println!(
+                    "## scenario shrink: {} -> {} nodes, {} -> {} crashes in {} oracle probes\n",
+                    s.nodes_before,
+                    s.nodes_after,
+                    s.crashes_before,
+                    s.crashes_after,
+                    s.probes_spent
+                );
+                for &(node, at) in &s.scenario.crashes {
+                    println!("crash {node} at {at}");
+                }
+                println!(
+                    "minimized schedule ({} scheduling decisions): {}\n",
+                    s.counterexample.schedule.len(),
+                    s.counterexample.schedule
+                );
+                let replayed = probe(
+                    &s.scenario,
+                    SchedulePolicy::Replay(s.counterexample.schedule.clone()),
+                );
+                print!(
+                    "{}",
+                    render_violations(&replayed.report, &replayed.violations)
+                );
+                println!();
+            }
+            // The budgeted fuzz above may trip on schedules the
+            // shrinker's small fixed oracle never reaches.
+            None => println!("## scenario shrink: oracle found no violation within its budget\n"),
+        }
     }
 
     if outcome.violating() == 0 {
@@ -1306,6 +1371,13 @@ mod tests {
         assert_eq!(defaults.policy, PolicyMix::Mixed);
         assert_eq!(defaults.stop_after, 0);
         assert!(defaults.artifact.is_none());
+        assert!(!defaults.shrink_scenario);
+
+        assert_eq!(
+            check_parse(&["--policy", "guided"]).unwrap().policy,
+            PolicyMix::Guided
+        );
+        assert!(check_parse(&["--shrink-scenario"]).unwrap().shrink_scenario);
 
         assert!(check_parse(&["--budget", "0"]).is_err());
         assert!(check_parse(&["--policy", "chaos"]).is_err());
@@ -1321,6 +1393,10 @@ mod tests {
         assert!(
             check_parse(&["--backend", "live", "--artifact", "/tmp/x"]).is_err(),
             "live schedules replay by seed, not artifact"
+        );
+        assert!(
+            check_parse(&["--backend", "live", "--shrink-scenario"]).is_err(),
+            "scenario shrinking is a sim-backend feature"
         );
     }
 
@@ -1349,6 +1425,7 @@ mod tests {
             policy: PolicyMix::Mixed,
             stop_after: 0,
             artifact: None,
+            shrink_scenario: false,
             backend: CheckBackend::Sim,
             shards: 2,
         };
@@ -1369,6 +1446,7 @@ mod tests {
             policy: PolicyMix::Mixed,
             stop_after: 0,
             artifact: None,
+            shrink_scenario: false,
             backend: CheckBackend::Live,
             shards: 2,
         };
@@ -1390,6 +1468,7 @@ mod tests {
             policy: PolicyMix::Mixed,
             stop_after: 1,
             artifact: None,
+            shrink_scenario: false,
             backend: CheckBackend::Live,
             shards: 2,
         };
@@ -1419,6 +1498,7 @@ mod tests {
             policy: PolicyMix::Mixed,
             stop_after: 1,
             artifact: Some(artifact_path.to_string_lossy().into_owned()),
+            shrink_scenario: false,
             backend: CheckBackend::Sim,
             shards: 2,
         };

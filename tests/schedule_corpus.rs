@@ -130,6 +130,54 @@ fn planted_inverted_arbitration_violation_stays_documented() {
     assert_eq!(clean.violations, Vec::new());
 }
 
+/// Byte-pins the exploring policies' random streams on the
+/// `torus5-two-crashes` scenario: exact trace hash and schedule length
+/// per policy, plus the full deviation string for `Pcr(11)`.
+///
+/// Re-pinned when `SplitMix::below` switched from modulo reduction to
+/// Lemire's multiply-shift rejection sampling (removing the modulo
+/// bias for non-power-of-two bounds). That change shifts every
+/// `Random`/`Pcr` stream, so any golden recorded before it is void;
+/// the values below are the unbiased streams. `Replay`-pinned corpus
+/// entries are unaffected — they never consult the RNG.
+#[test]
+fn exploring_policy_streams_stay_pinned() {
+    let scenario = Scenario::builder(torus(GridDims::square(5)))
+        .crash(NodeId(6), SimTime::from_millis(1))
+        .crash(NodeId(7), SimTime::from_millis(3))
+        .seed(2)
+        .build();
+
+    let pins: [(SchedulePolicy, usize, u64); 3] = [
+        (SchedulePolicy::Random(11), 261, 0x13ed843f2412c973),
+        (SchedulePolicy::Random(12), 106, 0xefbb07c09ff2c162),
+        (SchedulePolicy::Pcr(11), 54, 0xb46f407ba2400fcd),
+    ];
+    for (policy, len, hash) in pins {
+        let p = probe(&scenario, policy.clone());
+        assert_eq!(p.schedule.len(), len, "{policy:?} stream drifted");
+        assert_eq!(
+            p.report.trace_hash, hash,
+            "{policy:?} stream drifted (schedule: {})",
+            p.schedule
+        );
+    }
+
+    // The shortest stream in full, so a drift diff is readable.
+    let pcr = probe(&scenario, SchedulePolicy::Pcr(11));
+    let pinned: Schedule = "1:N7!6 3:D7>1#0 5:D7>5#0 7:D7>11#0 9:D11>7#0 10:D5>7#0 12:N1!7 \
+         14:D5>5#0 15:D11>5#0 17:D5>7#1 19:D5>11#0 20:N11!7 23:D5>1#1 27:D2>6#0 31:D5>5#1 \
+         33:D1>11#1 34:D11>11#1 36:D11>1#1 37:D11>1#2 42:D5>7#2 44:D12>2#0 46:D12>8#0 \
+         48:D12>12#0 49:D8>12#0 51:N2!6 53:D2>6#1 54:D12>6#0 56:N8!6 58:D5>5#2 59:D1>5#2 \
+         62:D1>11#2 63:D5>11#2 70:D8>8#1 72:D12>12#1 75:D12>6#1 81:D8>6#2 82:D2>6#2 \
+         84:D2>8#2 85:D8>8#2 88:D8>2#2 91:D2>12#3 93:D2>1#0 94:D12>1#0 97:D2>5#0 \
+         100:D2>11#0 102:D12>12#3 103:D12>12#4 104:D2>12#4 106:D12>2#3 107:D2>2#3 \
+         108:D12>2#4 113:D12>8#3 114:D12>8#4 117:D12>6#3"
+        .parse()
+        .expect("pinned Pcr(11) schedule parses");
+    assert_eq!(pcr.schedule, pinned, "Pcr(11) deviation stream drifted");
+}
+
 /// Pinned exploring policies on fixed scenarios: the recorded schedule
 /// of every (scenario, policy) pair below replays bit-for-bit and stays
 /// violation-free. These are the "boring" corpus entries that keep the
